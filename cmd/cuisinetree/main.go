@@ -1,0 +1,98 @@
+// Command cuisinetree regenerates the paper's dendrograms (Figs. 2-5):
+// hierarchical agglomerative clustering of the 26 cuisines from mined
+// patterns (Euclidean / cosine / Jaccard features, Figs. 2-4) or from
+// ingredient authenticity (Fig. 5), rendered as an ASCII dendrogram plus
+// Newick export.
+//
+// Usage:
+//
+//	cuisinetree -features patterns -metric euclidean   # Fig. 2
+//	cuisinetree -features patterns -metric cosine      # Fig. 3
+//	cuisinetree -features patterns -metric jaccard     # Fig. 4
+//	cuisinetree -features authenticity                 # Fig. 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cuisines/internal/authenticity"
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/distance"
+	"cuisines/internal/encode"
+	"cuisines/internal/hac"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cuisinetree: ")
+	var (
+		features = flag.String("features", "patterns", "feature source: patterns or authenticity")
+		metric   = flag.String("metric", "euclidean", "distance metric: euclidean, cosine or jaccard")
+		linkage  = flag.String("linkage", "", "linkage method (default: ward for patterns+euclidean, average otherwise)")
+		support  = flag.Float64("support", core.DefaultMinSupport, "pattern-mining support threshold")
+		scale    = flag.Float64("scale", 1.0, "corpus scale")
+		seed     = flag.Uint64("seed", corpus.DefaultSeed, "corpus generator seed")
+		newick   = flag.Bool("newick", false, "also print the Newick serialization")
+	)
+	flag.Parse()
+
+	m, err := distance.ParseMetric(*metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	method := core.DefaultLinkage
+	if *features == "patterns" && m == distance.Euclidean {
+		method = core.EuclideanLinkage
+	}
+	if *linkage != "" {
+		method, err = hac.ParseMethod(*linkage)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tree *core.CuisineTree
+	switch *features {
+	case "patterns":
+		mined, err := core.MineRegions(db, *support)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regions, sets := core.PatternSets(mined)
+		pm, err := encode.BuildPatternMatrix(regions, core.AnchoredPatterns(sets), encode.Binary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err = core.PatternTree(pm, m, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "authenticity":
+		am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: 0.03})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err = core.AuthenticityTree(am, m, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown features %q (want patterns or authenticity)", *features)
+	}
+
+	fmt.Printf("%s (metric=%s, linkage=%s, support=%.2f, scale=%.2f)\n\n",
+		tree.Name, tree.Metric, tree.Linkage, *support, *scale)
+	fmt.Print(tree.Tree.Render())
+	if *newick {
+		fmt.Println()
+		fmt.Println(tree.Tree.Newick())
+	}
+}

@@ -1,0 +1,52 @@
+// Command elbow regenerates Fig. 1 of the paper: the K-means elbow
+// analysis on the cuisine pattern features, showing that the WCSS curve
+// has no sharp elbow — the paper's argument for preferring hierarchical
+// clustering over K-means on this data.
+//
+// Usage:
+//
+//	elbow [-kmax 15] [-scale 1.0] [-support 0.2] [-seed 20200426]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/encode"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("elbow: ")
+	var (
+		kmax    = flag.Int("kmax", 15, "largest k to evaluate")
+		support = flag.Float64("support", core.DefaultMinSupport, "pattern-mining support threshold")
+		scale   = flag.Float64("scale", 1.0, "corpus scale")
+		seed    = flag.Uint64("seed", corpus.DefaultSeed, "corpus generator seed")
+	)
+	flag.Parse()
+
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mined, err := core.MineRegions(db, *support)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, sets := core.PatternSets(mined)
+	pm, err := encode.BuildPatternMatrix(regions, core.AnchoredPatterns(sets), encode.Binary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := core.ElbowAnalysis(pm, *kmax, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := curve.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

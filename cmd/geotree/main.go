@@ -1,0 +1,44 @@
+// Command geotree regenerates Fig. 6 of the paper: the hierarchical
+// clustering of the 26 regions by great-circle distance between their
+// centroids — the reference tree the cuisine trees are validated
+// against.
+//
+// Usage:
+//
+//	geotree [-linkage average] [-newick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cuisines/internal/core"
+	"cuisines/internal/geo"
+	"cuisines/internal/hac"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geotree: ")
+	var (
+		linkage = flag.String("linkage", core.DefaultLinkage.String(), "linkage method")
+		newick  = flag.Bool("newick", false, "also print the Newick serialization")
+	)
+	flag.Parse()
+
+	method, err := hac.ParseMethod(*linkage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := core.GeographicTree(geo.RegionNames(), method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("geographic distance tree (haversine km, linkage=%s)\n\n", method)
+	fmt.Print(tree.Tree.Render())
+	if *newick {
+		fmt.Println()
+		fmt.Println(tree.Tree.Newick())
+	}
+}

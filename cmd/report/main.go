@@ -1,0 +1,105 @@
+// Command report runs the complete evaluation pipeline and writes a
+// single self-contained Markdown report: Sec. III corpus statistics,
+// the Table I reproduction, the Fig. 1 elbow analysis, all five
+// dendrograms, and the quantified Sec. VII validation.
+//
+// Usage:
+//
+//	report [-scale 1.0] [-o report.md]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cuisines"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	var (
+		scale = flag.Float64("scale", 1.0, "corpus scale")
+		seed  = flag.Uint64("seed", 0, "corpus seed (0 = default)")
+		out   = flag.String("o", "-", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	a, err := cuisines.Run(cuisines.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = bw
+	}
+	if err := write(w, a, *scale); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func write(w io.Writer, a *cuisines.Analysis, scale float64) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("# Hierarchical Clustering of World Cuisines — experiment report\n\n")
+	p("Corpus scale: %.2f\n\n", scale)
+
+	st := a.Stats()
+	p("## Corpus (Sec. III)\n\n```\n%s```\n\n", st.String())
+
+	p("## Table I — significant patterns per cuisine\n\n```\n%s```\n\n", a.RenderTable())
+
+	p("## Fig. 1 — elbow analysis\n\n```\n%s```\n\n", a.ElbowReport())
+
+	for _, f := range []cuisines.Figure{
+		cuisines.FigureEuclidean, cuisines.FigureCosine, cuisines.FigureJaccard,
+		cuisines.FigureAuthenticity, cuisines.FigureGeographic,
+	} {
+		s, err := a.Dendrogram(f)
+		if err != nil {
+			return err
+		}
+		p("## %s\n\n```\n%s```\n\n", f, s)
+	}
+
+	p("## Sec. VII — validation against geography\n\n```\n%s```\n\n", a.RenderValidation())
+
+	p("## Culinary fingerprints (top 5 per cuisine)\n\n")
+	for _, region := range a.Regions() {
+		fp, err := a.Fingerprint(region, 5)
+		if err != nil {
+			return err
+		}
+		p("- **%s**: ", region)
+		for i, e := range fp.Most {
+			if i > 0 {
+				p(", ")
+			}
+			p("%s (%+.2f)", e.Item, e.Relative)
+		}
+		p("\n")
+	}
+	p("\n")
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package cuisines reproduces "Hierarchical Clustering of World Cuisines"
+// (Sharma et al., 2020): frequent-pattern mining of a 118k-recipe,
+// 26-cuisine RecipeDB corpus, per-cuisine culinary fingerprints, and
+// hierarchical clustering of the world's cuisines under pattern-based and
+// authenticity-based features, validated against geography.
+//
+// The package is a facade over the internal pipeline. A typical session:
+//
+//	a, err := cuisines.Run(cuisines.Options{Scale: 0.25})
+//	if err != nil { ... }
+//	fmt.Println(a.RenderTable())                       // Table I
+//	s, _ := a.Dendrogram(cuisines.FigureAuthenticity)  // Fig. 5
+//	fmt.Println(s)
+//	for _, c := range a.Claims() {                     // Sec. VII
+//		fmt.Println(c.Name, c.Holds)
+//	}
+//
+// The corpus is synthetic but calibrated: the real RecipeDB scrape is not
+// redistributable, so Run generates a corpus that reproduces the paper's
+// Table I (per-cuisine recipe counts, headline patterns and supports,
+// pattern-count shape), the Sec. III statistics, and the cross-cuisine
+// sharing structure the clustering results depend on. See DESIGN.md.
+package cuisines
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/hac"
+	"cuisines/internal/recipedb"
+)
+
+// Options configures Run.
+type Options struct {
+	// Seed drives corpus generation (default: the paper's arXiv date,
+	// 20200426 — the seed every number in EXPERIMENTS.md was produced
+	// with).
+	Seed uint64
+	// Scale multiplies the Table I per-region recipe counts; 0 or 1 is
+	// the full 118k corpus. Quarter scale reproduces all qualitative
+	// results in a few hundred milliseconds.
+	Scale float64
+	// MinSupport is the pattern-mining threshold (default 0.2, Sec. IV).
+	MinSupport float64
+	// Linkage names the linkage method for the cosine, Jaccard,
+	// authenticity and geographic trees: "single", "complete", "average"
+	// (default), "weighted" or "ward". The Euclidean pattern tree always
+	// uses Ward (see internal/core.EuclideanLinkage).
+	Linkage string
+}
+
+// Figure selects one of the paper's dendrograms.
+type Figure int
+
+const (
+	// FigureEuclidean is Fig. 2: pattern features, Euclidean distance.
+	FigureEuclidean Figure = iota
+	// FigureCosine is Fig. 3: pattern features, cosine distance.
+	FigureCosine
+	// FigureJaccard is Fig. 4: pattern features, Jaccard distance.
+	FigureJaccard
+	// FigureAuthenticity is Fig. 5: ingredient authenticity features.
+	FigureAuthenticity
+	// FigureGeographic is Fig. 6: great-circle distances (validation).
+	FigureGeographic
+)
+
+// String names the figure.
+func (f Figure) String() string {
+	switch f {
+	case FigureEuclidean:
+		return "fig2-euclidean"
+	case FigureCosine:
+		return "fig3-cosine"
+	case FigureJaccard:
+		return "fig4-jaccard"
+	case FigureAuthenticity:
+		return "fig5-authenticity"
+	case FigureGeographic:
+		return "fig6-geographic"
+	default:
+		return fmt.Sprintf("figure(%d)", int(f))
+	}
+}
+
+// Analysis holds one full run of the paper's evaluation.
+type Analysis struct {
+	db         *recipedb.DB
+	figures    *core.Figures
+	validation *core.Validation
+}
+
+// Run generates the calibrated corpus and executes the complete pipeline:
+// per-cuisine FP-Growth, Table I significance ranking, the Fig. 1 elbow
+// analysis, the five dendrograms, and the Sec. VII validation.
+func Run(opts Options) (*Analysis, error) {
+	if opts.Seed == 0 {
+		opts.Seed = corpus.DefaultSeed
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = core.DefaultMinSupport
+	}
+	if opts.Linkage == "" {
+		opts.Linkage = core.DefaultLinkage.String()
+	}
+	method, err := hac.ParseMethod(opts.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	db, err := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	return analyze(db, opts.MinSupport, method)
+}
+
+// RunFromCSV runs the pipeline on recipes read from CSV (the format
+// written by `cmd/recipegen -format csv`). Options.Seed and Scale are
+// ignored — the data is what the reader provides.
+func RunFromCSV(r io.Reader, opts Options) (*Analysis, error) {
+	db, err := recipedb.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(db, opts)
+}
+
+// RunFromJSONL runs the pipeline on recipes read from JSON Lines (the
+// format written by `cmd/recipegen -format jsonl`).
+func RunFromJSONL(r io.Reader, opts Options) (*Analysis, error) {
+	db, err := recipedb.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(db, opts)
+}
+
+func runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = core.DefaultMinSupport
+	}
+	if opts.Linkage == "" {
+		opts.Linkage = core.DefaultLinkage.String()
+	}
+	method, err := hac.ParseMethod(opts.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(db, opts.MinSupport, method)
+}
+
+// analyze runs the pipeline on an existing database.
+func analyze(db *recipedb.DB, minSupport float64, method hac.Method) (*Analysis, error) {
+	figs, err := core.BuildFigures(db, minSupport, method)
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.Validate(figs)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{db: db, figures: figs, validation: v}, nil
+}
+
+// Regions returns the 26 cuisine names in canonical (sorted) order.
+func (a *Analysis) Regions() []string { return a.db.Regions() }
+
+// tree resolves a figure to its dendrogram.
+func (a *Analysis) tree(f Figure) (*core.CuisineTree, error) {
+	switch f {
+	case FigureEuclidean:
+		return a.figures.Euclidean, nil
+	case FigureCosine:
+		return a.figures.Cosine, nil
+	case FigureJaccard:
+		return a.figures.Jaccard, nil
+	case FigureAuthenticity:
+		return a.figures.Auth, nil
+	case FigureGeographic:
+		return a.figures.Geo, nil
+	default:
+		return nil, fmt.Errorf("cuisines: unknown figure %v", f)
+	}
+}
+
+// Dendrogram renders the figure's dendrogram as ASCII art (labels, joints
+// and a distance axis), the textual analogue of the paper's plots.
+func (a *Analysis) Dendrogram(f Figure) (string, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return "", err
+	}
+	header := fmt.Sprintf("%s (metric=%s, linkage=%s)\n", f, t.Metric, t.Linkage)
+	return header + t.Tree.Render(), nil
+}
+
+// Newick serializes the figure's dendrogram in Newick format for external
+// tree viewers.
+func (a *Analysis) Newick(f Figure) (string, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return "", err
+	}
+	return t.Tree.Newick(), nil
+}
+
+// CuisineDistance returns the cophenetic distance between two cuisines in
+// the figure's dendrogram — the height at which they merge.
+func (a *Analysis) CuisineDistance(f Figure, regionA, regionB string) (float64, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return 0, err
+	}
+	return t.Tree.MergeHeightBetween(regionA, regionB)
+}
+
+// ClosestCuisine returns the region merging earliest with the given one
+// in the figure's dendrogram.
+func (a *Analysis) ClosestCuisine(f Figure, region string) (string, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return "", err
+	}
+	coph := t.Tree.Cophenetic()
+	regions := a.Regions()
+	self := -1
+	for i, r := range regions {
+		if r == region {
+			self = i
+			break
+		}
+	}
+	if self == -1 {
+		return "", fmt.Errorf("cuisines: unknown region %q", region)
+	}
+	j, _ := coph.ArgClosest(self)
+	return regions[j], nil
+}
+
+// Clusters cuts the figure's dendrogram into k clusters and returns the
+// regions grouped by cluster.
+func (a *Analysis) Clusters(f Figure, k int) ([][]string, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := t.Tree.CutK(k)
+	if err != nil {
+		return nil, err
+	}
+	max := 0
+	for _, c := range assign {
+		if c > max {
+			max = c
+		}
+	}
+	out := make([][]string, max+1)
+	regions := a.Regions()
+	for i, c := range assign {
+		out[c] = append(out[c], regions[i])
+	}
+	return out, nil
+}
+
+// Stats exposes the Sec. III corpus statistics.
+func (a *Analysis) Stats() recipedb.Stats { return recipedb.ComputeStats(a.db) }
+
+// ElbowReport renders the Fig. 1 elbow analysis.
+func (a *Analysis) ElbowReport() string {
+	var b strings.Builder
+	_ = a.figures.Elbow.Render(&b)
+	return b.String()
+}
+
+// ElbowSharp reports whether the WCSS curve had a pronounced elbow (the
+// paper's Fig. 1 finds none).
+func (a *Analysis) ElbowSharp() bool { return a.figures.Elbow.Sharp() }

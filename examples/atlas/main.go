@@ -1,0 +1,63 @@
+// Atlas: the complete cuisine atlas — every dendrogram of the paper
+// (Figs. 2-6), the Fig. 1 elbow analysis, the quantified geography fit of
+// each tree, and continental cluster cuts.
+//
+//	go run ./examples/atlas [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cuisines"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "corpus scale (1.0 = the full 118k recipes)")
+	flag.Parse()
+
+	a, err := cuisines.Run(cuisines.Options{Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := a.Stats()
+	fmt.Printf("Corpus: %d recipes, %d cuisines, %d ingredients / %d processes / %d utensils\n\n",
+		st.Recipes, st.Regions, st.UniqueIngredients, st.UniqueProcesses, st.UniqueUtensils)
+
+	for _, f := range []cuisines.Figure{
+		cuisines.FigureEuclidean, cuisines.FigureCosine, cuisines.FigureJaccard,
+		cuisines.FigureAuthenticity, cuisines.FigureGeographic,
+	} {
+		s, err := a.Dendrogram(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("=== " + f.String() + " ===")
+		fmt.Println(s)
+	}
+
+	fmt.Println("=== Fig. 1: elbow analysis (K-means) ===")
+	fmt.Println(a.ElbowReport())
+
+	fmt.Println("=== Cuisine map: principal coordinates of authenticity ===")
+	m, err := a.RenderCuisineMap(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+
+	fmt.Println("=== Continental cut: authenticity tree at k=5 ===")
+	groups, err := a.Clusters(cuisines.FigureAuthenticity, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, g := range groups {
+		fmt.Printf("  cluster %d: %v\n", i+1, g)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Sec. VII validation ===")
+	fmt.Println(a.RenderValidation())
+}

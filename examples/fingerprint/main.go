@@ -1,0 +1,52 @@
+// Fingerprint: compute a cuisine's culinary fingerprint — the most and
+// least authentic ingredients under the Ahn et al. relative-prevalence
+// metric (Sec. V.B) — plus its nearest cuisines under each tree.
+//
+//	go run ./examples/fingerprint [region]
+//
+// The default region is "Japanese"; pass any Table I region name.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cuisines"
+)
+
+func main() {
+	region := "Japanese"
+	if len(os.Args) > 1 {
+		region = os.Args[1]
+	}
+
+	a, err := cuisines.Run(cuisines.Options{Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fp, err := a.Fingerprint(region, 10)
+	if err != nil {
+		log.Fatalf("%v (known regions: %v)", err, a.Regions())
+	}
+
+	fmt.Printf("Culinary fingerprint of %s\n\n", region)
+	fmt.Println("Most authentic (over-represented vs the world):")
+	for _, e := range fp.Most {
+		fmt.Printf("  %+0.3f  %-24s (used in %4.1f%% of its recipes)\n", e.Relative, e.Item, e.Prevalence*100)
+	}
+	fmt.Println("\nLeast authentic (conspicuously avoided):")
+	for _, e := range fp.Least {
+		fmt.Printf("  %+0.3f  %s\n", e.Relative, e.Item)
+	}
+
+	fmt.Println("\nNearest cuisines:")
+	for _, f := range []cuisines.Figure{cuisines.FigureAuthenticity, cuisines.FigureEuclidean, cuisines.FigureGeographic} {
+		closest, err := a.ClosestCuisine(f, region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %s\n", f.String()+":", closest)
+	}
+}

@@ -1,0 +1,68 @@
+// Pairing: explore a cuisine's strongest ingredient pairings via
+// association rules — the food-pairing lens (Jain et al. on Indian
+// cuisine; Ahn et al.'s flavor network) that motivates the paper's
+// pattern mining (Sec. II).
+//
+//	go run ./examples/pairing [region]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cuisines"
+)
+
+func main() {
+	region := "Indian Subcontinent"
+	if len(os.Args) > 1 {
+		region = os.Args[1]
+	}
+
+	a, err := cuisines.Run(cuisines.Options{Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rs, err := a.IngredientPairings(region, 0.6, 0)
+	if err != nil {
+		log.Fatalf("%v (known regions: %v)", err, a.Regions())
+	}
+
+	fmt.Printf("Strongest pairings in %s (rules with confidence >= 0.6, ranked by lift):\n\n", region)
+	// Keep ingredient-to-ingredient rules with real pull (lift > 1.5).
+	shown := 0
+	for _, r := range rs {
+		if r.Lift <= 1.5 {
+			continue
+		}
+		marker := " "
+		if r.IsPerfect() {
+			marker = "*" // held in every supporting recipe
+		}
+		lhs := joinNames(r.Antecedent)
+		rhs := joinNames(r.Consequent)
+		fmt.Printf("%s %-55s supp %.2f  conf %.2f  lift %.1f\n",
+			marker, lhs+" => "+rhs, r.Support, r.Confidence, r.Lift)
+		shown++
+		if shown >= 15 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no high-lift rules at this threshold — try a lower confidence)")
+	}
+	fmt.Println("\n* = the rule held in every recipe containing its antecedent")
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " + "
+		}
+		out += n
+	}
+	return out
+}

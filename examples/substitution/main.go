@@ -1,0 +1,63 @@
+// Substitution: suggest ingredient replacements within a cuisine from
+// pattern-context similarity — two ingredients are substitution
+// candidates when they frequently combine with the same partners (the
+// replaceable-ingredient idea of Shidochi et al., discussed in the
+// paper's Sec. II, built on this repository's pattern miner).
+//
+//	go run ./examples/substitution [region [ingredient]]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cuisines"
+)
+
+func main() {
+	region := "Chinese and Mongolian"
+	ingredient := "ginger"
+	if len(os.Args) > 1 {
+		region = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		ingredient = os.Args[2]
+	}
+
+	a, err := cuisines.Run(cuisines.Options{Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	subs, err := a.Substitutes(region, ingredient, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ingredients that appear in the same frequent combinations as %q in %s:\n\n", ingredient, region)
+	for _, s := range subs {
+		fmt.Printf("  %.2f  %s\n", s.Similarity, s.Ingredient)
+	}
+
+	fmt.Println("\nFrequent combinations anchoring the suggestion:")
+	patterns, err := a.CuisinePatterns(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for _, p := range patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		for _, it := range p.Items {
+			if it == ingredient {
+				fmt.Printf("  %v (support %.2f)\n", p.Items, p.Support)
+				shown++
+				break
+			}
+		}
+		if shown >= 5 {
+			break
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package cuisines
+
+import (
+	"fmt"
+
+	"cuisines/internal/flavor"
+)
+
+// FoodPairing is one cuisine's flavor-compound pairing statistic (Ahn et
+// al.'s ΔN_s, computed on the synthetic compound table — see
+// internal/flavor). Positive means the cuisine combines compound-sharing
+// ingredients (the Western pattern); negative means it pairs chemically
+// contrasting ones (the pattern Jain et al. report for Indian cuisine).
+type FoodPairing struct {
+	Region      string
+	CoOccurring float64
+	Random      float64
+	DeltaNs     float64
+}
+
+// FoodPairings computes the pairing statistic for every cuisine.
+func (a *Analysis) FoodPairings() []FoodPairing {
+	rows := flavor.AnalyzeDB(a.db, 1)
+	out := make([]FoodPairing, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, FoodPairing{
+			Region:      r.Region,
+			CoOccurring: r.CoOccurring,
+			Random:      r.Random,
+			DeltaNs:     r.DeltaNs,
+		})
+	}
+	return out
+}
+
+// FoodPairingFor returns one cuisine's pairing statistic.
+func (a *Analysis) FoodPairingFor(region string) (FoodPairing, error) {
+	for _, r := range a.FoodPairings() {
+		if r.Region == region {
+			return r, nil
+		}
+	}
+	return FoodPairing{}, fmt.Errorf("cuisines: unknown region %q", region)
+}

@@ -1,0 +1,39 @@
+package cuisines
+
+import "testing"
+
+func TestFoodPairings(t *testing.T) {
+	a := getAnalysis(t)
+	rows := a.FoodPairings()
+	if len(rows) != 26 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byRegion := map[string]FoodPairing{}
+	for _, r := range rows {
+		byRegion[r.Region] = r
+		if r.CoOccurring < 0 || r.Random < 0 {
+			t.Fatalf("negative means: %+v", r)
+		}
+	}
+	// The Jain et al. / Ahn et al. sign structure: the UK pairs
+	// compound-sharing ingredients, the Indian Subcontinent pairs
+	// chemically contrasting ones.
+	uk, in := byRegion["UK"], byRegion["Indian Subcontinent"]
+	if uk.DeltaNs <= in.DeltaNs {
+		t.Fatalf("UK delta %.3f should exceed Indian delta %.3f", uk.DeltaNs, in.DeltaNs)
+	}
+	if uk.DeltaNs <= 0 {
+		t.Fatalf("UK should be compound-positive: %+v", uk)
+	}
+}
+
+func TestFoodPairingFor(t *testing.T) {
+	a := getAnalysis(t)
+	fp, err := a.FoodPairingFor("UK")
+	if err != nil || fp.Region != "UK" {
+		t.Fatalf("fp=%+v err=%v", fp, err)
+	}
+	if _, err := a.FoodPairingFor("Narnia"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}

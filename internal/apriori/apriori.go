@@ -1,0 +1,214 @@
+// Package apriori implements the level-wise Apriori frequent-itemset
+// miner of Agrawal & Srikant (VLDB 1994), reference [1] of the paper. It
+// serves two roles: the classic baseline against which FP-Growth's
+// efficiency claim is benchmarked, and an independent oracle for
+// property tests (both miners must produce identical pattern sets).
+package apriori
+
+import (
+	"sort"
+
+	"cuisines/internal/itemset"
+)
+
+// Options tunes a mining run.
+type Options struct {
+	// MaxLen, if positive, bounds the size of mined itemsets.
+	MaxLen int
+}
+
+// Mine returns all itemsets with relative support >= minSupport (fraction
+// in (0,1], or absolute count if > 1), in canonical report order.
+func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
+	return MineWithOptions(d, minSupport, Options{})
+}
+
+// MineWithOptions is Mine with explicit options.
+func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
+	if d.Len() == 0 {
+		return nil
+	}
+	minCount := d.MinCount(minSupport)
+	total := float64(d.Len())
+
+	// Item id assignment over frequent 1-itemsets, in canonical item
+	// order so generated candidates are id-sorted.
+	counts := d.ItemCounts()
+	var freq []itemset.Item
+	for it, n := range counts {
+		if n >= minCount {
+			freq = append(freq, it)
+		}
+	}
+	sort.Slice(freq, func(i, j int) bool { return freq[i].Less(freq[j]) })
+	idOf := make(map[itemset.Item]int, len(freq))
+	for i, it := range freq {
+		idOf[it] = i
+	}
+
+	// Transactions projected to sorted frequent id lists.
+	txns := make([][]int, 0, d.Len())
+	for _, t := range d.Transactions() {
+		var ids []int
+		for _, it := range t.Items.Items() {
+			if id, ok := idOf[it]; ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 0 {
+			sort.Ints(ids)
+			txns = append(txns, ids)
+		}
+	}
+
+	var out []itemset.Pattern
+	emit := func(ids []int, count int) {
+		items := make([]itemset.Item, len(ids))
+		for i, id := range ids {
+			items[i] = freq[id]
+		}
+		out = append(out, itemset.Pattern{
+			Items:   itemset.NewSet(items...),
+			Count:   count,
+			Support: float64(count) / total,
+		})
+	}
+
+	// L1.
+	current := make([][]int, 0, len(freq))
+	for id, it := range freq {
+		c := counts[it]
+		emit([]int{id}, c)
+		current = append(current, []int{id})
+	}
+
+	k := 1
+	for len(current) > 0 {
+		k++
+		if opts.MaxLen > 0 && k > opts.MaxLen {
+			break
+		}
+		candidates := generateCandidates(current)
+		if len(candidates) == 0 {
+			break
+		}
+		// Count candidates by subset testing against each transaction.
+		candCounts := make([]int, len(candidates))
+		for _, txn := range txns {
+			if len(txn) < k {
+				continue
+			}
+			for ci, cand := range candidates {
+				if containsSorted(txn, cand) {
+					candCounts[ci]++
+				}
+			}
+		}
+		var next [][]int
+		for ci, cand := range candidates {
+			if candCounts[ci] >= minCount {
+				emit(cand, candCounts[ci])
+				next = append(next, cand)
+			}
+		}
+		current = next
+	}
+
+	itemset.SortPatterns(out)
+	return out
+}
+
+// generateCandidates performs the Apriori join + prune step on the sorted
+// frequent (k-1)-itemsets: join pairs sharing the first k-2 ids, then
+// discard candidates with an infrequent (k-1)-subset.
+func generateCandidates(frequent [][]int) [][]int {
+	if len(frequent) == 0 {
+		return nil
+	}
+	k1 := len(frequent[0])
+	// Lexicographic order is required for the prefix join.
+	sort.Slice(frequent, func(i, j int) bool { return lessInts(frequent[i], frequent[j]) })
+	inPrev := make(map[string]bool, len(frequent))
+	for _, f := range frequent {
+		inPrev[intsKey(f)] = true
+	}
+
+	var cands [][]int
+	for i := 0; i < len(frequent); i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			a, b := frequent[i], frequent[j]
+			if !samePrefix(a, b, k1-1) {
+				break // sorted, so no later j can share the prefix
+			}
+			cand := make([]int, k1+1)
+			copy(cand, a)
+			cand[k1] = b[k1-1]
+			if prune(cand, inPrev) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	return cands
+}
+
+// prune checks that all (k-1)-subsets of cand are frequent.
+func prune(cand []int, inPrev map[string]bool) bool {
+	if len(cand) <= 2 {
+		return true // both 1-subsets are frequent by construction
+	}
+	sub := make([]int, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != skip {
+				sub = append(sub, v)
+			}
+		}
+		if !inPrev[intsKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePrefix(a, b []int, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func intsKey(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}
+
+// containsSorted reports whether sorted slice txn contains all of sorted
+// slice sub.
+func containsSorted(txn, sub []int) bool {
+	i := 0
+	for _, want := range sub {
+		for i < len(txn) && txn[i] < want {
+			i++
+		}
+		if i >= len(txn) || txn[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}

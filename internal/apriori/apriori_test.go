@@ -1,0 +1,123 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"cuisines/internal/fpgrowth"
+	"cuisines/internal/itemset"
+)
+
+func txn(names ...string) itemset.Transaction {
+	return itemset.Transaction{Items: itemset.FromNames(itemset.Ingredient, names...)}
+}
+
+func ds(txns ...itemset.Transaction) *itemset.Dataset {
+	return itemset.NewDataset(txns)
+}
+
+func patternMap(ps []itemset.Pattern) map[string]int {
+	m := make(map[string]int, len(ps))
+	for _, p := range ps {
+		m[p.StringPattern()] = p.Count
+	}
+	return m
+}
+
+func TestMineTextbookExample(t *testing.T) {
+	d := ds(
+		txn("f", "a", "c", "d", "g", "i", "m", "p"),
+		txn("a", "b", "c", "f", "l", "m", "o"),
+		txn("b", "f", "h", "j", "o"),
+		txn("b", "c", "k", "s", "p"),
+		txn("a", "f", "c", "e", "l", "p", "m", "n"),
+	)
+	got := patternMap(Mine(d, 0.6))
+	if len(got) != 18 {
+		t.Fatalf("got %d patterns, want 18: %v", len(got), got)
+	}
+	if got["a+c+f+m"] != 3 {
+		t.Fatalf("acfm count = %d", got["a+c+f+m"])
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if Mine(ds(), 0.5) != nil {
+		t.Fatal("empty dataset should mine nothing")
+	}
+	m := patternMap(Mine(ds(txn("x")), 1.0))
+	if len(m) != 1 || m["x"] != 1 {
+		t.Fatalf("trivial = %v", m)
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	d := ds(txn("a", "b", "c"), txn("a", "b", "c"))
+	for _, p := range MineWithOptions(d, 1.0, Options{MaxLen: 2}) {
+		if p.Items.Len() > 2 {
+			t.Fatalf("MaxLen violated: %v", p)
+		}
+	}
+}
+
+func TestJoinPruneStep(t *testing.T) {
+	// {a,b}, {a,c} frequent but {b,c} not -> {a,b,c} must be pruned
+	// without counting.
+	d := ds(
+		txn("a", "b"), txn("a", "b"),
+		txn("a", "c"), txn("a", "c"),
+	)
+	m := patternMap(Mine(d, 0.5))
+	if _, ok := m["a+b+c"]; ok {
+		t.Fatal("pruned candidate survived")
+	}
+	if m["a+b"] != 2 || m["a+c"] != 2 || m["a"] != 4 {
+		t.Fatalf("counts = %v", m)
+	}
+}
+
+func TestAgreesWithFPGrowthProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		nTxn := 5 + r.Intn(25)
+		txns := make([]itemset.Transaction, nTxn)
+		for i := range txns {
+			n := 1 + r.Intn(6)
+			var items []itemset.Item
+			for j := 0; j < n; j++ {
+				items = append(items, itemset.NewItem(string(rune('a'+r.Intn(7))), itemset.Kind(r.Intn(3))))
+			}
+			txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+		}
+		d := ds(txns...)
+		sup := []float64{0.15, 0.25, 0.4}[r.Intn(3)]
+		a := patternMap(Mine(d, sup))
+		f := patternMap(fpgrowth.Mine(d, sup))
+		if len(a) != len(f) {
+			t.Fatalf("trial %d: apriori %d patterns, fpgrowth %d\na=%v\nf=%v", trial, len(a), len(f), a, f)
+		}
+		for k, c := range a {
+			if f[k] != c {
+				t.Fatalf("trial %d: %q apriori count %d, fpgrowth %d", trial, k, c, f[k])
+			}
+		}
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	cases := []struct {
+		txn, sub []int
+		want     bool
+	}{
+		{[]int{1, 3, 5, 7}, []int{3, 7}, true},
+		{[]int{1, 3, 5, 7}, []int{3, 6}, false},
+		{[]int{1, 3}, []int{1, 3, 5}, false},
+		{[]int{1, 3}, nil, true},
+		{nil, []int{1}, false},
+	}
+	for _, c := range cases {
+		if got := containsSorted(c.txn, c.sub); got != c.want {
+			t.Errorf("containsSorted(%v, %v) = %v", c.txn, c.sub, got)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package authenticity
+
+import (
+	"math"
+	"testing"
+
+	"cuisines/internal/itemset"
+	"cuisines/internal/recipedb"
+)
+
+func mustDB(t *testing.T, rs []recipedb.Recipe) *recipedb.DB {
+	t.Helper()
+	db, err := recipedb.New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// Two regions, two recipes each. "soy" appears in all Japanese recipes,
+// never in Mexican; "salt" appears everywhere; "lime" in half of Mexican.
+func sampleDB(t *testing.T) *recipedb.DB {
+	return mustDB(t, []recipedb.Recipe{
+		{ID: "j1", Region: "Japanese", Ingredients: []string{"soy", "salt"}, Processes: []string{"boil"}},
+		{ID: "j2", Region: "Japanese", Ingredients: []string{"soy", "salt"}},
+		{ID: "m1", Region: "Mexican", Ingredients: []string{"salt", "lime"}},
+		{ID: "m2", Region: "Mexican", Ingredients: []string{"salt"}},
+	})
+}
+
+func TestBuildPrevalence(t *testing.T) {
+	m, err := Build(sampleDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Regions) != 2 || len(m.Items) != 3 {
+		t.Fatalf("shape: %v x %v", m.Regions, m.Items)
+	}
+	jp, _ := m.RegionIndex("Japanese")
+	mx, _ := m.RegionIndex("Mexican")
+	col := func(name string) int {
+		for i, it := range m.Items {
+			if it.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("item %q missing", name)
+		return -1
+	}
+	if m.Prevalence.At(jp, col("soy")) != 1.0 || m.Prevalence.At(mx, col("soy")) != 0 {
+		t.Fatal("soy prevalence wrong")
+	}
+	if m.Prevalence.At(mx, col("lime")) != 0.5 {
+		t.Fatal("lime prevalence wrong")
+	}
+	if m.Prevalence.At(jp, col("salt")) != 1.0 || m.Prevalence.At(mx, col("salt")) != 1.0 {
+		t.Fatal("salt prevalence wrong")
+	}
+}
+
+func TestRelativePrevalenceEquation2(t *testing.T) {
+	m, _ := Build(sampleDB(t), Options{})
+	jp, _ := m.RegionIndex("Japanese")
+	mx, _ := m.RegionIndex("Mexican")
+	var soyCol int
+	for i, it := range m.Items {
+		if it.Name == "soy" {
+			soyCol = i
+		}
+	}
+	// P(soy|JP)=1, P(soy|MX)=0, mean=0.5 -> relative +0.5 / -0.5.
+	if math.Abs(m.Relative.At(jp, soyCol)-0.5) > 1e-9 {
+		t.Fatalf("relative soy JP = %v", m.Relative.At(jp, soyCol))
+	}
+	if math.Abs(m.Relative.At(mx, soyCol)+0.5) > 1e-9 {
+		t.Fatalf("relative soy MX = %v", m.Relative.At(mx, soyCol))
+	}
+}
+
+func TestRelativeColumnsSumToZero(t *testing.T) {
+	// Eq. 2 implies every item's relative prevalence sums to zero over
+	// cuisines — the invariant the Fig. 5 features rely on.
+	m, _ := Build(sampleDB(t), Options{})
+	for j := range m.Items {
+		s := 0.0
+		for i := range m.Regions {
+			s += m.Relative.At(i, j)
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("column %d sums to %v", j, s)
+		}
+	}
+}
+
+func TestIngredientsOnlyByDefault(t *testing.T) {
+	m, _ := Build(sampleDB(t), Options{})
+	for _, it := range m.Items {
+		if it.Kind != itemset.Ingredient {
+			t.Fatalf("non-ingredient item %v leaked into default matrix", it)
+		}
+	}
+}
+
+func TestKindSelection(t *testing.T) {
+	m, err := Build(sampleDB(t), Options{Kinds: []itemset.Kind{itemset.Process}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Items) != 1 || m.Items[0].Name != "boil" {
+		t.Fatalf("process matrix items = %v", m.Items)
+	}
+}
+
+func TestMinRegionPrevalenceFilter(t *testing.T) {
+	m, _ := Build(sampleDB(t), Options{MinRegionPrevalence: 0.6})
+	// lime (max prevalence 0.5) must be dropped; soy and salt stay.
+	for _, it := range m.Items {
+		if it.Name == "lime" {
+			t.Fatal("lime not filtered")
+		}
+	}
+	if len(m.Items) != 2 {
+		t.Fatalf("items = %v", m.Items)
+	}
+}
+
+func TestMostLeastAuthentic(t *testing.T) {
+	m, _ := Build(sampleDB(t), Options{})
+	top, err := m.MostAuthentic("Japanese", 1)
+	if err != nil || len(top) != 1 || top[0].Item.Name != "soy" {
+		t.Fatalf("most authentic JP = %v, %v", top, err)
+	}
+	if top[0].Prevalence != 1.0 {
+		t.Fatalf("prevalence context = %v", top[0].Prevalence)
+	}
+	bottom, err := m.LeastAuthentic("Japanese", 1)
+	if err != nil || len(bottom) != 1 || bottom[0].Item.Name != "lime" {
+		t.Fatalf("least authentic JP = %v, %v", bottom, err)
+	}
+	if bottom[0].Relative >= 0 {
+		t.Fatal("least authentic should be negative")
+	}
+}
+
+func TestUnknownRegion(t *testing.T) {
+	m, _ := Build(sampleDB(t), Options{})
+	if _, err := m.MostAuthentic("Atlantis", 3); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	if _, err := m.RegionIndex("Atlantis"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	if _, err := Build(&recipedb.DB{}, Options{}); err == nil {
+		t.Fatal("empty db accepted")
+	}
+}
+
+func TestFingerprintDistinguishesCuisines(t *testing.T) {
+	// Distances on the relative matrix must separate soy-world from
+	// lime-world more than two identical regions.
+	db := mustDB(t, []recipedb.Recipe{
+		{ID: "a1", Region: "A", Ingredients: []string{"soy", "rice"}},
+		{ID: "a2", Region: "A", Ingredients: []string{"soy", "rice"}},
+		{ID: "b1", Region: "B", Ingredients: []string{"soy", "rice"}},
+		{ID: "b2", Region: "B", Ingredients: []string{"soy", "rice"}},
+		{ID: "c1", Region: "C", Ingredients: []string{"lime", "corn"}},
+		{ID: "c2", Region: "C", Ingredients: []string{"lime", "corn"}},
+	})
+	m, _ := Build(db, Options{})
+	x := m.FeatureMatrix()
+	dAB, dAC := 0.0, 0.0
+	for j := 0; j < x.Cols(); j++ {
+		dAB += sq(x.At(0, j) - x.At(1, j))
+		dAC += sq(x.At(0, j) - x.At(2, j))
+	}
+	if dAB >= dAC {
+		t.Fatalf("identical cuisines not closer: dAB=%v dAC=%v", dAB, dAC)
+	}
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"cuisines/internal/authenticity"
+	"cuisines/internal/distance"
+	"cuisines/internal/encode"
+	"cuisines/internal/geo"
+	"cuisines/internal/hac"
+	"cuisines/internal/itemset"
+	"cuisines/internal/kmeans"
+	"cuisines/internal/recipedb"
+)
+
+// DefaultLinkage is the linkage method used for the cosine, Jaccard,
+// authenticity and geographic dendrograms. Average (UPGMA) is the
+// conventional choice for feature-derived cuisine trees; the A2 ablation
+// bench sweeps the alternatives.
+const DefaultLinkage = hac.Average
+
+// EuclideanLinkage is the linkage used for the Fig. 2 Euclidean pattern
+// tree: Ward, matching the sklearn convention the paper's toolchain
+// defaults to (AgglomerativeClustering uses Ward, which is defined only
+// for Euclidean distances — the reason the other metrics fall back to
+// average linkage). Ward also neutralizes the pattern-count size bias
+// that otherwise dominates raw Euclidean distances between binary
+// pattern vectors.
+const EuclideanLinkage = hac.Ward
+
+// CuisineTree bundles a dendrogram with the pipeline that produced it.
+type CuisineTree struct {
+	// Name identifies the experiment ("fig2-euclidean", ...).
+	Name string
+	Tree *hac.Tree
+	// Distances is the condensed matrix the tree was linked from.
+	Distances *distance.Condensed
+	Metric    distance.Metric
+	Linkage   hac.Method
+}
+
+// PatternTree builds one of the Figs. 2-4 dendrograms: binary pattern
+// feature matrix -> pdist(metric) -> linkage.
+func PatternTree(pm *encode.PatternMatrix, metric distance.Metric, method hac.Method) (*CuisineTree, error) {
+	if pm.X.Rows() < 2 {
+		return nil, fmt.Errorf("core: need at least two cuisines, have %d", pm.X.Rows())
+	}
+	d := distance.Pdist(pm.X, metric)
+	lk, err := hac.Cluster(d, method)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hac.BuildTree(lk, pm.Regions)
+	if err != nil {
+		return nil, err
+	}
+	return &CuisineTree{
+		Name:      "patterns-" + metric.String(),
+		Tree:      tree,
+		Distances: d,
+		Metric:    metric,
+		Linkage:   method,
+	}, nil
+}
+
+// AuthenticityTree builds the Fig. 5 dendrogram from the ingredient
+// relative-prevalence matrix.
+func AuthenticityTree(am *authenticity.Matrix, metric distance.Metric, method hac.Method) (*CuisineTree, error) {
+	x := am.FeatureMatrix()
+	if x.Rows() < 2 {
+		return nil, fmt.Errorf("core: need at least two cuisines, have %d", x.Rows())
+	}
+	d := distance.Pdist(x, metric)
+	lk, err := hac.Cluster(d, method)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hac.BuildTree(lk, am.Regions)
+	if err != nil {
+		return nil, err
+	}
+	return &CuisineTree{
+		Name:      "authenticity-" + metric.String(),
+		Tree:      tree,
+		Distances: d,
+		Metric:    metric,
+		Linkage:   method,
+	}, nil
+}
+
+// GeographicTree builds the Fig. 6 validation dendrogram from
+// great-circle distances between the region centroids.
+func GeographicTree(regions []string, method hac.Method) (*CuisineTree, error) {
+	d, err := geo.DistanceMatrix(regions)
+	if err != nil {
+		return nil, err
+	}
+	lk, err := hac.Cluster(d, method)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hac.BuildTree(lk, regions)
+	if err != nil {
+		return nil, err
+	}
+	return &CuisineTree{
+		Name:      "geographic",
+		Tree:      tree,
+		Distances: d,
+		Metric:    distance.Euclidean, // label only; distances are haversine km
+		Linkage:   method,
+	}, nil
+}
+
+// ElbowAnalysis runs the Fig. 1 experiment on the pattern feature matrix.
+func ElbowAnalysis(pm *encode.PatternMatrix, kMax int, seed uint64) (*kmeans.ElbowCurve, error) {
+	if kMax <= 0 {
+		kMax = 15
+	}
+	return kmeans.Elbow(pm.X, kMax, kmeans.Options{Seed: seed})
+}
+
+// Figures is the complete artifact set of the paper's evaluation.
+type Figures struct {
+	Table1    *Table1
+	Elbow     *kmeans.ElbowCurve    // Fig. 1
+	Euclidean *CuisineTree          // Fig. 2
+	Cosine    *CuisineTree          // Fig. 3
+	Jaccard   *CuisineTree          // Fig. 4
+	Auth      *CuisineTree          // Fig. 5
+	Geo       *CuisineTree          // Fig. 6
+	Patterns  *encode.PatternMatrix // shared feature matrix (Figs. 1-4)
+	AuthMat   *authenticity.Matrix  // shared authenticity matrix (Fig. 5)
+	Mined     []RegionPatterns      // per-cuisine FP-Growth output
+}
+
+// AnchoredPatterns filters out pure-process patterns (cooking grammar
+// such as "add + heat" and the regional technique combinations), keeping
+// patterns anchored on at least one ingredient or utensil. The clustering
+// features use the anchored set: process grammar is near-universal and
+// only adds size noise to the geometry, mirroring the significance
+// ranker's headline exclusion.
+func AnchoredPatterns(sets [][]itemset.Pattern) [][]itemset.Pattern {
+	out := make([][]itemset.Pattern, len(sets))
+	for i, ps := range sets {
+		for _, p := range ps {
+			anchored := false
+			for _, it := range p.Items.Items() {
+				if it.Kind != itemset.Process {
+					anchored = true
+					break
+				}
+			}
+			if anchored {
+				out[i] = append(out[i], p)
+			}
+		}
+	}
+	return out
+}
+
+// BuildFigures runs the whole evaluation pipeline on a database. method
+// is the linkage for the cosine/Jaccard/authenticity/geographic trees
+// (the Euclidean pattern tree always uses EuclideanLinkage).
+func BuildFigures(db *recipedb.DB, minSupport float64, method hac.Method) (*Figures, error) {
+	if minSupport <= 0 {
+		minSupport = DefaultMinSupport
+	}
+	mined, err := MineRegions(db, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	ranker := NewRanker(mined, 0)
+	t1 := &Table1{MinSupport: minSupport}
+	for _, rp := range mined {
+		t1.Rows = append(t1.Rows, Table1Row{
+			Region:   rp.Region,
+			Recipes:  rp.Recipes,
+			Top:      ranker.Top(rp.Patterns, 3),
+			Patterns: len(rp.Patterns),
+		})
+	}
+
+	regions, patternSets := PatternSets(mined)
+	pm, err := encode.BuildPatternMatrix(regions, AnchoredPatterns(patternSets), encode.Binary)
+	if err != nil {
+		return nil, err
+	}
+	elbow, err := ElbowAnalysis(pm, 15, 1)
+	if err != nil {
+		return nil, err
+	}
+	euc, err := PatternTree(pm, distance.Euclidean, EuclideanLinkage)
+	if err != nil {
+		return nil, err
+	}
+	cos, err := PatternTree(pm, distance.Cosine, method)
+	if err != nil {
+		return nil, err
+	}
+	jac, err := PatternTree(pm, distance.Jaccard, method)
+	if err != nil {
+		return nil, err
+	}
+	am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: 0.03})
+	if err != nil {
+		return nil, err
+	}
+	auth, err := AuthenticityTree(am, distance.Euclidean, method)
+	if err != nil {
+		return nil, err
+	}
+	geoTree, err := GeographicTree(db.Regions(), method)
+	if err != nil {
+		return nil, err
+	}
+	return &Figures{
+		Table1:    t1,
+		Elbow:     elbow,
+		Euclidean: euc,
+		Cosine:    cos,
+		Jaccard:   jac,
+		Auth:      auth,
+		Geo:       geoTree,
+		Patterns:  pm,
+		AuthMat:   am,
+		Mined:     mined,
+	}, nil
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"cuisines/internal/encode"
+	"cuisines/internal/itemset"
+)
+
+// encodeOne is a tiny test helper wrapping the encoder.
+func encodeOne(regions []string, sets [][]itemset.Pattern) (*encode.PatternMatrix, error) {
+	return encode.BuildPatternMatrix(regions, sets, encode.Binary)
+}

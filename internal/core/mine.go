@@ -1,0 +1,61 @@
+// Package core wires the substrates into the paper's experiments: the
+// per-cuisine pattern miner and significance ranking behind Table I, the
+// pattern / authenticity / geographic feature pipelines behind Figs. 1-6,
+// and the quantified Sec. VII validation. The root cuisines package is a
+// thin facade over this one.
+package core
+
+import (
+	"fmt"
+
+	"cuisines/internal/fpgrowth"
+	"cuisines/internal/itemset"
+	"cuisines/internal/recipedb"
+)
+
+// DefaultMinSupport is the paper's mining threshold (Sec. IV: "a trade
+// off support of 20% was chosen").
+const DefaultMinSupport = 0.2
+
+// RegionPatterns holds one cuisine's mining result.
+type RegionPatterns struct {
+	Region  string
+	Recipes int
+	// Patterns is every frequent itemset at the mining threshold, in
+	// canonical report order.
+	Patterns []itemset.Pattern
+}
+
+// MineRegions runs FP-Growth per cuisine at the given support threshold,
+// exactly as Sec. V.A prescribes (ingredients, processes and utensils
+// concatenated; one run per region). Regions are returned in the DB's
+// sorted region order.
+func MineRegions(db *recipedb.DB, minSupport float64) ([]RegionPatterns, error) {
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("core: min support %v out of (0, 1]", minSupport)
+	}
+	out := make([]RegionPatterns, 0, db.NumRegions())
+	for _, region := range db.Regions() {
+		ds := db.RegionDataset(region)
+		ps := fpgrowth.Mine(ds, minSupport)
+		out = append(out, RegionPatterns{
+			Region:   region,
+			Recipes:  ds.Len(),
+			Patterns: ps,
+		})
+	}
+	return out, nil
+}
+
+// PatternSets flattens mining results into parallel slices for the
+// encoder.
+func PatternSets(rps []RegionPatterns) (regions []string, patterns [][]itemset.Pattern) {
+	for _, rp := range rps {
+		regions = append(regions, rp.Region)
+		patterns = append(patterns, rp.Patterns)
+	}
+	return regions, patterns
+}

@@ -1,0 +1,223 @@
+// Package distance implements the pairwise distance computations the
+// paper's clustering pipeline performs with scipy: the Euclidean, Cosine
+// and Jaccard metrics of equations (3)-(5) (in their standard forms — the
+// paper's printed formulas are garbled ratios; we implement the metrics
+// scipy.spatial.distance actually computes, which is what the authors'
+// code calls), condensed distance vectors (pdist) and square-form
+// conversion.
+package distance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a pairwise distance function on float64 vectors.
+type Metric int
+
+const (
+	// Euclidean is sqrt(sum (x_i - y_i)^2) — eq. (5), Fig. 2.
+	Euclidean Metric = iota
+	// Cosine is 1 - x.y/(|x||y|) — eq. (4), Fig. 3.
+	Cosine
+	// Jaccard treats nonzero entries as set membership:
+	// |x xor y| / |x or y| — eq. (3), Fig. 4 (scipy's boolean Jaccard).
+	Jaccard
+	// Hamming is the fraction of coordinates that differ.
+	Hamming
+	// Manhattan is sum |x_i - y_i| (cityblock).
+	Manhattan
+	// Correlation is 1 - Pearson correlation of the two vectors.
+	Correlation
+)
+
+// String returns the lowercase metric name (matching scipy's naming).
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Cosine:
+		return "cosine"
+	case Jaccard:
+		return "jaccard"
+	case Hamming:
+		return "hamming"
+	case Manhattan:
+		return "cityblock"
+	case Correlation:
+		return "correlation"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// ParseMetric parses a metric name (scipy-style, case-sensitive lowercase
+// plus the common aliases).
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "euclidean", "l2":
+		return Euclidean, nil
+	case "cosine":
+		return Cosine, nil
+	case "jaccard":
+		return Jaccard, nil
+	case "hamming":
+		return Hamming, nil
+	case "cityblock", "manhattan", "l1":
+		return Manhattan, nil
+	case "correlation":
+		return Correlation, nil
+	default:
+		return 0, fmt.Errorf("distance: unknown metric %q", s)
+	}
+}
+
+// Between computes the metric between two equal-length vectors. It panics
+// on length mismatch (a programming error, not an input error).
+func (m Metric) Between(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("distance: length mismatch %d vs %d", len(x), len(y)))
+	}
+	switch m {
+	case Euclidean:
+		return euclidean(x, y)
+	case Cosine:
+		return cosine(x, y)
+	case Jaccard:
+		return jaccard(x, y)
+	case Hamming:
+		return hamming(x, y)
+	case Manhattan:
+		return manhattan(x, y)
+	case Correlation:
+		return correlation(x, y)
+	default:
+		panic("distance: unknown metric")
+	}
+}
+
+func euclidean(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func manhattan(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// cosine returns 1 - cos(x, y). By scipy convention an all-zero vector
+// yields distance 1 against anything (including another zero vector it is
+// 0 in recent scipy; we use 0 for two zero vectors, 1 if exactly one is
+// zero, which preserves identity d(x,x)=0).
+func cosine(x, y []float64) float64 {
+	var dot, nx, ny float64
+	for i := range x {
+		dot += x[i] * y[i]
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if nx == 0 && ny == 0 {
+		return 0
+	}
+	if nx == 0 || ny == 0 {
+		return 1
+	}
+	c := dot / (math.Sqrt(nx) * math.Sqrt(ny))
+	// Clamp against floating-point drift so distances stay in [0, 2].
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// jaccard implements scipy's boolean Jaccard dissimilarity on vectors:
+// the proportion of coordinates where exactly one of x, y is nonzero,
+// among coordinates where at least one is nonzero. Two all-zero vectors
+// are at distance 0.
+func jaccard(x, y []float64) float64 {
+	var diff, union int
+	for i := range x {
+		xb := x[i] != 0
+		yb := y[i] != 0
+		if xb || yb {
+			union++
+			if xb != yb {
+				diff++
+			}
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(diff) / float64(union)
+}
+
+func hamming(x, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	diff := 0
+	for i := range x {
+		if x[i] != y[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(x))
+}
+
+// correlation returns 1 - Pearson r. Constant vectors have undefined
+// correlation; following scipy, two identical constant vectors get 0 and
+// otherwise the distance is 1.
+func correlation(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 && syy == 0 {
+		// Both constant: identical up to offset — treat as distance 0 if
+		// truly equal, else maximal decorrelation.
+		for i := range x {
+			if x[i] != y[i] {
+				return 1
+			}
+		}
+		return 0
+	}
+	if sxx == 0 || syy == 0 {
+		return 1
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return 1 - r
+}

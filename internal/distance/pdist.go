@@ -1,0 +1,161 @@
+package distance
+
+import (
+	"fmt"
+
+	"cuisines/internal/matrix"
+)
+
+// Condensed is a condensed pairwise distance vector over n observations,
+// exactly like scipy's pdist output: distances d(i,j) for i < j stored
+// row-major, length n*(n-1)/2.
+type Condensed struct {
+	n int
+	d []float64
+}
+
+// NewCondensed allocates a zero condensed matrix over n observations.
+func NewCondensed(n int) *Condensed {
+	if n < 0 {
+		panic("distance: negative n")
+	}
+	return &Condensed{n: n, d: make([]float64, n*(n-1)/2)}
+}
+
+// FromSquare builds a condensed matrix from a full symmetric matrix,
+// validating symmetry and zero diagonal within tol.
+func FromSquare(m *matrix.Dense, tol float64) (*Condensed, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("distance: square matrix required, got %dx%d", m.Rows(), m.Cols())
+	}
+	n := m.Rows()
+	c := NewCondensed(n)
+	for i := 0; i < n; i++ {
+		if diff := m.At(i, i); diff > tol || diff < -tol {
+			return nil, fmt.Errorf("distance: nonzero diagonal at %d: %v", i, diff)
+		}
+		for j := i + 1; j < n; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if d := a - b; d > tol || d < -tol {
+				return nil, fmt.Errorf("distance: asymmetric at (%d,%d): %v vs %v", i, j, a, b)
+			}
+			c.Set(i, j, a)
+		}
+	}
+	return c, nil
+}
+
+// N returns the number of observations.
+func (c *Condensed) N() int { return c.n }
+
+// Len returns the number of stored pairs, n*(n-1)/2.
+func (c *Condensed) Len() int { return len(c.d) }
+
+// index maps (i, j), i != j, to the condensed offset.
+func (c *Condensed) index(i, j int) int {
+	if i == j || i < 0 || j < 0 || i >= c.n || j >= c.n {
+		panic(fmt.Sprintf("distance: bad pair (%d,%d) for n=%d", i, j, c.n))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// offset of row i block: sum_{k<i} (n-1-k) = i*n - i*(i+1)/2 - i ... use
+	// the standard closed form.
+	return i*(2*c.n-i-1)/2 + (j - i - 1)
+}
+
+// At returns d(i, j); d(i, i) is 0.
+func (c *Condensed) At(i, j int) float64 {
+	if i == j {
+		if i < 0 || i >= c.n {
+			panic(fmt.Sprintf("distance: index %d out of range %d", i, c.n))
+		}
+		return 0
+	}
+	return c.d[c.index(i, j)]
+}
+
+// Set assigns d(i, j) = d(j, i) = v. Setting the diagonal panics.
+func (c *Condensed) Set(i, j int, v float64) {
+	c.d[c.index(i, j)] = v
+}
+
+// Values returns the underlying condensed vector (aliased, scipy layout).
+func (c *Condensed) Values() []float64 { return c.d }
+
+// Square expands to a full symmetric matrix (scipy squareform).
+func (c *Condensed) Square() *matrix.Dense {
+	m := matrix.NewDense(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		for j := i + 1; j < c.n; j++ {
+			v := c.At(i, j)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (c *Condensed) Clone() *Condensed {
+	out := NewCondensed(c.n)
+	copy(out.d, c.d)
+	return out
+}
+
+// Pdist computes the condensed pairwise distances between the rows of m
+// under the metric — the scipy pdist call at the heart of Sec. VI.A.
+func Pdist(m *matrix.Dense, metric Metric) *Condensed {
+	n := m.Rows()
+	c := NewCondensed(n)
+	for i := 0; i < n; i++ {
+		ri := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			c.Set(i, j, metric.Between(ri, m.Row(j)))
+		}
+	}
+	return c
+}
+
+// ArgClosest returns, for observation i, the index j != i minimizing
+// d(i, j), and that distance. It panics if n < 2.
+func (c *Condensed) ArgClosest(i int) (int, float64) {
+	if c.n < 2 {
+		panic("distance: ArgClosest needs n >= 2")
+	}
+	best := -1
+	bestD := 0.0
+	for j := 0; j < c.n; j++ {
+		if j == i {
+			continue
+		}
+		d := c.At(i, j)
+		if best == -1 || d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best, bestD
+}
+
+// Max returns the largest stored distance (0 for n < 2).
+func (c *Condensed) Max() float64 {
+	max := 0.0
+	for _, v := range c.d {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the mean pairwise distance (0 for n < 2).
+func (c *Condensed) Mean() float64 {
+	if len(c.d) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range c.d {
+		s += v
+	}
+	return s / float64(len(c.d))
+}

@@ -1,0 +1,124 @@
+// Package eclat implements the Eclat frequent-itemset miner (Zaki 2000):
+// depth-first search over the itemset lattice with vertical tid-list
+// intersection. It is the third independent miner in the repository,
+// used in the miner-agreement property tests and the A1 ablation bench
+// (FP-Growth vs Apriori vs Eclat).
+package eclat
+
+import (
+	"sort"
+
+	"cuisines/internal/itemset"
+)
+
+// Options tunes a mining run.
+type Options struct {
+	// MaxLen, if positive, bounds the size of mined itemsets.
+	MaxLen int
+}
+
+// Mine returns all itemsets with relative support >= minSupport (fraction
+// in (0,1], or absolute count if > 1), in canonical report order.
+func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
+	return MineWithOptions(d, minSupport, Options{})
+}
+
+// MineWithOptions is Mine with explicit options.
+func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
+	if d.Len() == 0 {
+		return nil
+	}
+	minCount := d.MinCount(minSupport)
+	total := float64(d.Len())
+
+	// Vertical representation: item -> sorted tid list.
+	tidlists := make(map[itemset.Item][]int32)
+	for tid, t := range d.Transactions() {
+		for _, it := range t.Items.Items() {
+			tidlists[it] = append(tidlists[it], int32(tid))
+		}
+	}
+	type entry struct {
+		it   itemset.Item
+		tids []int32
+	}
+	var freq []entry
+	for it, tids := range tidlists {
+		if len(tids) >= minCount {
+			freq = append(freq, entry{it, tids})
+		}
+	}
+	// Ascending support order reduces intersection work; ties by item for
+	// determinism.
+	sort.Slice(freq, func(i, j int) bool {
+		if len(freq[i].tids) != len(freq[j].tids) {
+			return len(freq[i].tids) < len(freq[j].tids)
+		}
+		return freq[i].it.Less(freq[j].it)
+	})
+
+	var out []itemset.Pattern
+	emit := func(items []itemset.Item, count int) {
+		cp := make([]itemset.Item, len(items))
+		copy(cp, items)
+		out = append(out, itemset.Pattern{
+			Items:   itemset.NewSet(cp...),
+			Count:   count,
+			Support: float64(count) / total,
+		})
+	}
+
+	// Depth-first extension: each prefix holds the items chosen so far and
+	// the tid-list of their intersection; extensions come from the tail of
+	// the frequent item order.
+	var dfs func(prefixItems []itemset.Item, prefixTids []int32, startIdx int)
+	dfs = func(prefixItems []itemset.Item, prefixTids []int32, startIdx int) {
+		for i := startIdx; i < len(freq); i++ {
+			var tids []int32
+			if prefixTids == nil {
+				tids = freq[i].tids
+			} else {
+				tids = intersect(prefixTids, freq[i].tids)
+			}
+			if len(tids) < minCount {
+				continue
+			}
+			items := append(prefixItems, freq[i].it)
+			emit(items, len(tids))
+			if opts.MaxLen == 0 || len(items) < opts.MaxLen {
+				dfs(items, tids, i+1)
+			}
+			prefixItems = items[:len(items)-1]
+		}
+	}
+	dfs(nil, nil, 0)
+
+	itemset.SortPatterns(out)
+	return out
+}
+
+// intersect returns the intersection of two sorted tid lists.
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"cuisines/internal/fpgrowth"
+	"cuisines/internal/itemset"
+)
+
+func txn(names ...string) itemset.Transaction {
+	return itemset.Transaction{Items: itemset.FromNames(itemset.Ingredient, names...)}
+}
+
+func ds(txns ...itemset.Transaction) *itemset.Dataset {
+	return itemset.NewDataset(txns)
+}
+
+func patternMap(ps []itemset.Pattern) map[string]int {
+	m := make(map[string]int, len(ps))
+	for _, p := range ps {
+		m[p.StringPattern()] = p.Count
+	}
+	return m
+}
+
+func TestMineTextbookExample(t *testing.T) {
+	d := ds(
+		txn("f", "a", "c", "d", "g", "i", "m", "p"),
+		txn("a", "b", "c", "f", "l", "m", "o"),
+		txn("b", "f", "h", "j", "o"),
+		txn("b", "c", "k", "s", "p"),
+		txn("a", "f", "c", "e", "l", "p", "m", "n"),
+	)
+	got := patternMap(Mine(d, 0.6))
+	if len(got) != 18 {
+		t.Fatalf("got %d patterns, want 18: %v", len(got), got)
+	}
+	if got["a+c+f+m"] != 3 || got["f"] != 4 {
+		t.Fatalf("counts wrong: %v", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if Mine(ds(), 0.5) != nil {
+		t.Fatal("empty dataset should mine nothing")
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	d := ds(txn("a", "b", "c"), txn("a", "b", "c"))
+	ps := MineWithOptions(d, 1.0, Options{MaxLen: 1})
+	if len(ps) != 3 {
+		t.Fatalf("MaxLen=1 gave %d patterns", len(ps))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := intersect([]int32{1, 3, 5, 9}, []int32{3, 4, 5, 10})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if len(intersect(nil, []int32{1})) != 0 {
+		t.Fatal("nil intersect")
+	}
+}
+
+func TestAgreesWithFPGrowthProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nTxn := 5 + r.Intn(25)
+		txns := make([]itemset.Transaction, nTxn)
+		for i := range txns {
+			n := 1 + r.Intn(6)
+			var items []itemset.Item
+			for j := 0; j < n; j++ {
+				items = append(items, itemset.NewItem(string(rune('a'+r.Intn(7))), itemset.Kind(r.Intn(3))))
+			}
+			txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+		}
+		d := ds(txns...)
+		sup := []float64{0.15, 0.25, 0.4}[r.Intn(3)]
+		e := patternMap(Mine(d, sup))
+		f := patternMap(fpgrowth.Mine(d, sup))
+		if len(e) != len(f) {
+			t.Fatalf("trial %d: eclat %d patterns, fpgrowth %d", trial, len(e), len(f))
+		}
+		for k, c := range e {
+			if f[k] != c {
+				t.Fatalf("trial %d: %q eclat count %d, fpgrowth %d", trial, k, c, f[k])
+			}
+		}
+	}
+}

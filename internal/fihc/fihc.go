@@ -1,0 +1,396 @@
+// Package fihc implements Frequent-Itemset-based Hierarchical Clustering
+// (Fung, Wang & Ester, SDM 2003), the document-clustering method the
+// paper names as one of its two approaches (Sec. V). Documents are bags
+// of tokens; the algorithm:
+//
+//  1. mines global frequent token-sets over the documents (FP-Growth);
+//  2. forms one initial cluster per frequent itemset, containing every
+//     document that covers the itemset;
+//  3. makes clusters disjoint by assigning each document to its
+//     best-scoring cluster, where Score(C <- doc) rewards tokens that are
+//     cluster-frequent in C and penalizes globally frequent tokens that
+//     are not (the FIHC score function with unit term weights);
+//  4. links each k-itemset cluster under its best-scoring (k-1)-subset
+//     cluster, producing the topic hierarchy;
+//  5. prunes childless empty clusters and hoists children of pruned
+//     nodes.
+//
+// In this repository the "documents" are cuisines described by their
+// mined pattern vocabularies, giving the A4 ablation tree that is
+// compared against the paper's pdist+linkage pipeline.
+package fihc
+
+import (
+	"fmt"
+	"sort"
+
+	"cuisines/internal/fpgrowth"
+	"cuisines/internal/itemset"
+)
+
+// Document is a bag of tokens with an identifier.
+type Document struct {
+	ID     string
+	Tokens []string
+}
+
+// set converts the token bag to a canonical itemset.
+func (d Document) set() itemset.Set {
+	return itemset.FromNames(itemset.Ingredient, d.Tokens...)
+}
+
+// Options tunes the clustering.
+type Options struct {
+	// MinSupport is the global frequent-itemset threshold over documents
+	// (default 0.3).
+	MinSupport float64
+	// MinClusterSupport is the within-cluster token frequency needed for
+	// a token to count as cluster-frequent (default 0.5).
+	MinClusterSupport float64
+	// MaxLabelLen bounds the size of cluster label itemsets (default 3;
+	// larger labels explode the initial cluster count without improving
+	// the hierarchy on small corpora).
+	MaxLabelLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.3
+	}
+	if o.MinClusterSupport <= 0 {
+		o.MinClusterSupport = 0.5
+	}
+	if o.MaxLabelLen <= 0 {
+		o.MaxLabelLen = 3
+	}
+	return o
+}
+
+// Cluster is one node of the FIHC hierarchy.
+type Cluster struct {
+	// Label is the frequent itemset naming the cluster (empty for the
+	// root).
+	Label itemset.Set
+	// Docs are indices into the input document slice assigned to this
+	// cluster (not including descendants').
+	Docs []int
+	// Children are sub-clusters with strictly larger labels.
+	Children []*Cluster
+}
+
+// Tree is the clustering result.
+type Tree struct {
+	Root *Cluster
+	Docs []Document
+}
+
+// Run clusters the documents.
+func Run(docs []Document, opts Options) (*Tree, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("fihc: no documents")
+	}
+	opts = opts.withDefaults()
+
+	// Step 1: global frequent itemsets over documents.
+	txns := make([]itemset.Transaction, len(docs))
+	docSets := make([]itemset.Set, len(docs))
+	for i, d := range docs {
+		docSets[i] = d.set()
+		txns[i] = itemset.Transaction{ID: d.ID, Items: docSets[i]}
+	}
+	ds := itemset.NewDataset(txns)
+	patterns := fpgrowth.MineWithOptions(ds, opts.MinSupport, fpgrowth.Options{MaxLen: opts.MaxLabelLen})
+	if len(patterns) == 0 {
+		// Degenerate: everything in one root cluster.
+		root := &Cluster{Docs: allDocs(len(docs))}
+		return &Tree{Root: root, Docs: docs}, nil
+	}
+
+	// Global support of single tokens, for the score's penalty term.
+	globalSup := make(map[itemset.Item]float64)
+	for _, p := range patterns {
+		if p.Items.Len() == 1 {
+			globalSup[p.Items.At(0)] = p.Support
+		}
+	}
+
+	// Step 2: initial clusters (doc coverage per frequent itemset).
+	type initial struct {
+		label itemset.Set
+		docs  []int
+	}
+	inits := make([]initial, 0, len(patterns))
+	for _, p := range patterns {
+		var members []int
+		for i, s := range docSets {
+			if s.ContainsAll(p.Items) {
+				members = append(members, i)
+			}
+		}
+		inits = append(inits, initial{label: p.Items, docs: members})
+	}
+	// Deterministic order: larger labels first (so specific clusters win
+	// score ties), then lexicographic.
+	sort.Slice(inits, func(i, j int) bool {
+		if li, lj := inits[i].label.Len(), inits[j].label.Len(); li != lj {
+			return li > lj
+		}
+		return itemset.StringPattern(inits[i].label) < itemset.StringPattern(inits[j].label)
+	})
+
+	// Cluster-frequent token sets from the *initial* (overlapping)
+	// clusters, as FIHC prescribes.
+	clusterFrequent := make([]map[itemset.Item]bool, len(inits))
+	for ci, in := range inits {
+		cf := make(map[itemset.Item]bool)
+		if len(in.docs) > 0 {
+			counts := make(map[itemset.Item]int)
+			for _, di := range in.docs {
+				for _, it := range docSets[di].Items() {
+					counts[it]++
+				}
+			}
+			need := int(float64(len(in.docs))*opts.MinClusterSupport + 0.9999)
+			for it, n := range counts {
+				if n >= need {
+					cf[it] = true
+				}
+			}
+		}
+		clusterFrequent[ci] = cf
+	}
+
+	score := func(ci, di int) float64 {
+		s := 0.0
+		for _, it := range docSets[di].Items() {
+			switch {
+			case clusterFrequent[ci][it]:
+				s += 1
+			case globalSup[it] > 0:
+				s -= globalSup[it]
+			}
+		}
+		return s
+	}
+
+	// Step 3: disjoint assignment. A document must cover the label of the
+	// cluster it joins; documents covering no label go to the root.
+	assigned := make(map[int][]int, len(inits)) // init index -> docs
+	var rootDocs []int
+	for di := range docs {
+		best, bestScore := -1, 0.0
+		for ci, in := range inits {
+			if !docSets[di].ContainsAll(in.label) {
+				continue
+			}
+			sc := score(ci, di)
+			if best == -1 || sc > bestScore {
+				best, bestScore = ci, sc
+			}
+		}
+		if best == -1 {
+			rootDocs = append(rootDocs, di)
+		} else {
+			assigned[best] = append(assigned[best], di)
+		}
+	}
+
+	// Step 4: build the hierarchy by label-subset linking.
+	nodes := make([]*Cluster, len(inits))
+	byKey := make(map[string]int, len(inits))
+	for ci, in := range inits {
+		nodes[ci] = &Cluster{Label: in.label, Docs: assigned[ci]}
+		byKey[in.label.Key()] = ci
+	}
+	root := &Cluster{Docs: rootDocs}
+	for ci, in := range inits {
+		if in.label.Len() == 1 {
+			root.Children = append(root.Children, nodes[ci])
+			continue
+		}
+		// Best (k-1)-subset parent by the merged-document score.
+		parent := -1
+		parentScore := 0.0
+		items := in.label.Items()
+		for skip := range items {
+			var sub []itemset.Item
+			for k, it := range items {
+				if k != skip {
+					sub = append(sub, it)
+				}
+			}
+			pi, ok := byKey[itemset.NewSet(sub...).Key()]
+			if !ok {
+				continue
+			}
+			sc := mergedScore(clusterFrequent[pi], globalSup, docSets, assigned[ci])
+			if parent == -1 || sc > parentScore {
+				parent, parentScore = pi, sc
+			}
+		}
+		if parent == -1 {
+			root.Children = append(root.Children, nodes[ci])
+		} else {
+			nodes[parent].Children = append(nodes[parent].Children, nodes[ci])
+		}
+	}
+
+	// Step 5: prune empty leaves bottom-up.
+	root = prune(root)
+	if root == nil {
+		root = &Cluster{Docs: allDocs(len(docs))}
+	}
+	sortClusters(root)
+	return &Tree{Root: root, Docs: docs}, nil
+}
+
+func allDocs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// mergedScore scores a cluster's document set against a candidate
+// parent's cluster-frequent items, treating the docs as one merged
+// document (the FIHC parent-selection rule).
+func mergedScore(parentCF map[itemset.Item]bool, globalSup map[itemset.Item]float64, docSets []itemset.Set, docs []int) float64 {
+	s := 0.0
+	seen := make(map[itemset.Item]bool)
+	for _, di := range docs {
+		for _, it := range docSets[di].Items() {
+			if seen[it] {
+				continue
+			}
+			seen[it] = true
+			switch {
+			case parentCF[it]:
+				s += 1
+			case globalSup[it] > 0:
+				s -= globalSup[it]
+			}
+		}
+	}
+	return s
+}
+
+// prune removes clusters with no docs and no children; a pruned node's
+// children are hoisted to its parent.
+func prune(c *Cluster) *Cluster {
+	var kept []*Cluster
+	for _, ch := range c.Children {
+		p := prune(ch)
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	c.Children = kept
+	if len(c.Docs) == 0 && len(c.Children) == 0 && c.Label.Len() > 0 {
+		return nil
+	}
+	// Hoist single-child chains with no own docs.
+	if len(c.Docs) == 0 && len(c.Children) == 1 && c.Label.Len() > 0 {
+		return c.Children[0]
+	}
+	return c
+}
+
+func sortClusters(c *Cluster) {
+	sort.Ints(c.Docs)
+	sort.Slice(c.Children, func(i, j int) bool {
+		return itemset.StringPattern(c.Children[i].Label) < itemset.StringPattern(c.Children[j].Label)
+	})
+	for _, ch := range c.Children {
+		sortClusters(ch)
+	}
+}
+
+// Partition returns a flat assignment of documents to the root's
+// immediate subtrees (root-resident documents form their own cluster).
+// Cluster ids are renumbered by smallest member.
+func (t *Tree) Partition() []int {
+	assign := make([]int, len(t.Docs))
+	for i := range assign {
+		assign[i] = -1
+	}
+	cluster := 0
+	if len(t.Root.Docs) > 0 {
+		for _, di := range t.Root.Docs {
+			assign[di] = cluster
+		}
+		cluster++
+	}
+	var mark func(c *Cluster, id int)
+	mark = func(c *Cluster, id int) {
+		for _, di := range c.Docs {
+			assign[di] = id
+		}
+		for _, ch := range c.Children {
+			mark(ch, id)
+		}
+	}
+	for _, ch := range t.Root.Children {
+		mark(ch, cluster)
+		cluster++
+	}
+	// Unassigned docs (possible only if the tree was built degenerately)
+	// become singletons.
+	for i, a := range assign {
+		if a == -1 {
+			assign[i] = cluster
+			cluster++
+		}
+	}
+	return renumber(assign)
+}
+
+func renumber(assign []int) []int {
+	remap := make(map[int]int)
+	next := 0
+	out := make([]int, len(assign))
+	for i, c := range assign {
+		nc, ok := remap[c]
+		if !ok {
+			nc = next
+			remap[c] = nc
+			next++
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// NumClusters returns the number of distinct clusters in Partition.
+func (t *Tree) NumClusters() int {
+	max := -1
+	for _, c := range t.Partition() {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// Describe renders the hierarchy as an indented outline.
+func (t *Tree) Describe() string {
+	var b []byte
+	var walk func(c *Cluster, depth int)
+	walk = func(c *Cluster, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		label := c.Label.String()
+		if label == "" {
+			label = "(root)"
+		}
+		b = append(b, label...)
+		b = append(b, fmt.Sprintf(" [%d docs]", len(c.Docs))...)
+		b = append(b, '\n')
+		for _, ch := range c.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return string(b)
+}

@@ -1,0 +1,175 @@
+package fihc
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(id string, tokens ...string) Document {
+	return Document{ID: id, Tokens: tokens}
+}
+
+// twoTopics: documents about "asia" (soy, rice) and "europe" (butter,
+// flour), with salt everywhere.
+func twoTopics() []Document {
+	return []Document{
+		doc("a1", "soy", "rice", "salt"),
+		doc("a2", "soy", "rice", "salt", "ginger"),
+		doc("a3", "soy", "rice", "ginger"),
+		doc("e1", "butter", "flour", "salt"),
+		doc("e2", "butter", "flour", "salt", "cream"),
+		doc("e3", "butter", "flour", "cream"),
+	}
+}
+
+func TestRunSeparatesTopics(t *testing.T) {
+	tree, err := Run(twoTopics(), Options{MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := tree.Partition()
+	if len(part) != 6 {
+		t.Fatalf("partition length %d", len(part))
+	}
+	// Asia docs together, Europe docs together, separated from each
+	// other.
+	if part[0] != part[1] || part[1] != part[2] {
+		t.Fatalf("asia docs split: %v", part)
+	}
+	if part[3] != part[4] || part[4] != part[5] {
+		t.Fatalf("europe docs split: %v", part)
+	}
+	if part[0] == part[3] {
+		t.Fatalf("topics merged: %v", part)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRunNoFrequentItemsets(t *testing.T) {
+	docs := []Document{doc("a", "x"), doc("b", "y"), doc("c", "z")}
+	tree, err := Run(docs, Options{MinSupport: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything in one root cluster.
+	part := tree.Partition()
+	for _, p := range part {
+		if p != part[0] {
+			t.Fatalf("expected single cluster, got %v", part)
+		}
+	}
+	if tree.NumClusters() != 1 {
+		t.Fatalf("NumClusters = %d", tree.NumClusters())
+	}
+}
+
+func TestEveryDocAssignedExactlyOnce(t *testing.T) {
+	tree, err := Run(twoTopics(), Options{MinSupport: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		for _, di := range c.Docs {
+			seen[di]++
+		}
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	walk(tree.Root)
+	if len(seen) != 6 {
+		t.Fatalf("assigned %d of 6 docs", len(seen))
+	}
+	for di, n := range seen {
+		if n != 1 {
+			t.Fatalf("doc %d assigned %d times", di, n)
+		}
+	}
+}
+
+func TestHierarchyLabelsNest(t *testing.T) {
+	// Children labels must be supersets of parents'.
+	tree, err := Run(twoTopics(), Options{MinSupport: 0.3, MaxLabelLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		for _, ch := range c.Children {
+			if c.Label.Len() > 0 && !ch.Label.ContainsAll(c.Label) {
+				t.Fatalf("child label %v does not extend parent %v", ch.Label, c.Label)
+			}
+			if ch.Label.Len() <= c.Label.Len() {
+				t.Fatalf("child label %v not larger than parent %v", ch.Label, c.Label)
+			}
+			walk(ch)
+		}
+	}
+	walk(tree.Root)
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(twoTopics(), Options{MinSupport: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(twoTopics(), Options{MinSupport: 0.3})
+	pa, pb := a.Partition(), b.Partition()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("non-deterministic partition")
+		}
+	}
+	if a.Describe() != b.Describe() {
+		t.Fatal("non-deterministic hierarchy")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tree, err := Run(twoTopics(), Options{MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Describe()
+	if !strings.Contains(out, "(root)") {
+		t.Fatalf("describe:\n%s", out)
+	}
+	if !strings.Contains(out, "soy") || !strings.Contains(out, "butter") {
+		t.Fatalf("topic labels missing:\n%s", out)
+	}
+}
+
+func TestSingleDocument(t *testing.T) {
+	tree, err := Run([]Document{doc("only", "a", "b")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := tree.Partition()
+	if len(part) != 1 || part[0] != 0 {
+		t.Fatalf("partition = %v", part)
+	}
+}
+
+func TestMaxLabelLenRespected(t *testing.T) {
+	tree, err := Run(twoTopics(), Options{MinSupport: 0.3, MaxLabelLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		if c.Label.Len() > 1 {
+			t.Fatalf("label %v exceeds MaxLabelLen", c.Label)
+		}
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	walk(tree.Root)
+}

@@ -1,0 +1,386 @@
+// Package fpgrowth implements the FP-Growth frequent-itemset miner of
+// Han, Pei & Yin (SIGMOD 2000), the algorithm the paper applies per
+// cuisine at support 0.20 (Sec. V.A). The implementation follows the
+// original formulation: a compressed FP-tree with a header table of
+// per-item node chains, mined recursively through conditional pattern
+// bases, with the single-path shortcut for enumerating combinations.
+package fpgrowth
+
+import (
+	"sort"
+
+	"cuisines/internal/itemset"
+)
+
+// Options tunes a mining run. The zero value mines every frequent itemset
+// with no size or count limits.
+type Options struct {
+	// MaxLen, if positive, bounds the size of mined itemsets.
+	MaxLen int
+	// MaxPatterns, if positive, aborts enumeration after this many
+	// patterns (a safety valve against pathological inputs; the result is
+	// then a prefix of the full pattern set).
+	MaxPatterns int
+}
+
+// Mine returns all itemsets whose relative support in the dataset is at
+// least minSupport (a fraction in (0, 1], or an absolute count if > 1).
+// The result is in canonical report order (itemset.SortPatterns).
+func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
+	return MineWithOptions(d, minSupport, Options{})
+}
+
+// MineWithOptions is Mine with explicit options.
+func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
+	if d.Len() == 0 {
+		return nil
+	}
+	minCount := d.MinCount(minSupport)
+
+	m := newMiner(d, minCount, opts)
+	m.run()
+
+	total := float64(d.Len())
+	out := make([]itemset.Pattern, 0, len(m.results))
+	for _, res := range m.results {
+		items := make([]itemset.Item, len(res.items))
+		for i, id := range res.items {
+			items[i] = m.vocab[id]
+		}
+		out = append(out, itemset.Pattern{
+			Items:   itemset.NewSet(items...),
+			Count:   res.count,
+			Support: float64(res.count) / total,
+		})
+	}
+	itemset.SortPatterns(out)
+	return out
+}
+
+// result is a mined itemset in internal id space.
+type result struct {
+	items []int32
+	count int
+}
+
+// node is one FP-tree node. Nodes live in a flat arena; links are indices
+// so the garbage collector sees one slice, not a pointer web.
+type node struct {
+	item    int32 // vocab id, -1 for root
+	count   int
+	parent  int32
+	child   int32 // first child
+	sibling int32 // next sibling
+	hlink   int32 // next node with same item (header chain)
+}
+
+type tree struct {
+	nodes  []node
+	header []int32 // item id -> first node index, -1 if none
+	counts []int   // item id -> total count in this tree
+}
+
+type miner struct {
+	vocab    []itemset.Item // id -> item
+	order    []int32        // id -> f-list rank (0 = most frequent)
+	minCount int
+	opts     Options
+	results  []result
+	stop     bool
+
+	// initialTxns holds each transaction as ids sorted by f-list rank.
+	initialTxns [][]int32
+}
+
+func newMiner(d *itemset.Dataset, minCount int, opts Options) *miner {
+	// Pass 1: global item counts.
+	counts := d.ItemCounts()
+
+	// Frequent vocabulary, ordered by descending count, ties by name+kind
+	// for determinism.
+	type ic struct {
+		it itemset.Item
+		n  int
+	}
+	freq := make([]ic, 0, len(counts))
+	for it, n := range counts {
+		if n >= minCount {
+			freq = append(freq, ic{it, n})
+		}
+	}
+	sort.Slice(freq, func(i, j int) bool {
+		if freq[i].n != freq[j].n {
+			return freq[i].n > freq[j].n
+		}
+		return freq[i].it.Less(freq[j].it)
+	})
+
+	m := &miner{
+		vocab:    make([]itemset.Item, len(freq)),
+		minCount: minCount,
+		opts:     opts,
+	}
+	idOf := make(map[itemset.Item]int32, len(freq))
+	for i, f := range freq {
+		m.vocab[i] = f.it
+		idOf[f.it] = int32(i)
+	}
+	// Rank equals id because vocab is already in f-list order.
+	m.order = make([]int32, len(freq))
+	for i := range m.order {
+		m.order[i] = int32(i)
+	}
+
+	// Pass 2: project transactions onto the frequent vocabulary, sorted by
+	// f-list rank (ascending rank = descending frequency), which is the
+	// insertion order FP-trees require.
+	m.initialTxns = make([][]int32, 0, d.Len())
+	for _, t := range d.Transactions() {
+		var ids []int32
+		for _, it := range t.Items.Items() {
+			if id, ok := idOf[it]; ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		m.initialTxns = append(m.initialTxns, ids)
+	}
+	return m
+}
+
+func newTree(numItems int) *tree {
+	t := &tree{
+		nodes:  make([]node, 1, 64),
+		header: make([]int32, numItems),
+		counts: make([]int, numItems),
+	}
+	t.nodes[0] = node{item: -1, parent: -1, child: -1, sibling: -1, hlink: -1}
+	for i := range t.header {
+		t.header[i] = -1
+	}
+	return t
+}
+
+// insert adds an id-sorted transaction with the given count.
+func (t *tree) insert(ids []int32, count int) {
+	cur := int32(0)
+	for _, id := range ids {
+		t.counts[id] += count
+		// Find child of cur with this item.
+		var found int32 = -1
+		for c := t.nodes[cur].child; c != -1; c = t.nodes[c].sibling {
+			if t.nodes[c].item == id {
+				found = c
+				break
+			}
+		}
+		if found == -1 {
+			t.nodes = append(t.nodes, node{
+				item:    id,
+				count:   0,
+				parent:  cur,
+				child:   -1,
+				sibling: t.nodes[cur].child,
+				hlink:   t.header[id],
+			})
+			found = int32(len(t.nodes) - 1)
+			t.nodes[cur].child = found
+			t.header[id] = found
+		}
+		t.nodes[found].count += count
+		cur = found
+	}
+}
+
+// singlePath returns the item chain if the tree is a single path, else nil.
+func (t *tree) singlePath() []int32 {
+	var path []int32
+	cur := t.nodes[0].child
+	for cur != -1 {
+		if t.nodes[cur].sibling != -1 {
+			return nil
+		}
+		path = append(path, cur)
+		cur = t.nodes[cur].child
+	}
+	return path
+}
+
+func (m *miner) run() {
+	t := newTree(len(m.vocab))
+	for _, txn := range m.initialTxns {
+		t.insert(txn, 1)
+	}
+	m.mine(t, nil)
+}
+
+// emit records a frequent itemset (suffix + extra ids).
+func (m *miner) emit(ids []int32, count int) {
+	if m.stop {
+		return
+	}
+	cp := make([]int32, len(ids))
+	copy(cp, ids)
+	m.results = append(m.results, result{items: cp, count: count})
+	if m.opts.MaxPatterns > 0 && len(m.results) >= m.opts.MaxPatterns {
+		m.stop = true
+	}
+}
+
+// mine recursively mines the tree with the given suffix (in id space).
+func (m *miner) mine(t *tree, suffix []int32) {
+	if m.stop {
+		return
+	}
+	// Single-path shortcut: every combination of path nodes, joined with
+	// the suffix, is frequent with the minimum count along the selection.
+	if path := t.singlePath(); path != nil {
+		m.emitPathCombos(t, path, suffix)
+		return
+	}
+
+	// General case: process header items from least to most frequent
+	// (highest id first, since ids are in f-list order).
+	for id := int32(len(m.vocab)) - 1; id >= 0; id-- {
+		if m.stop {
+			return
+		}
+		if t.counts[id] < m.minCount {
+			continue
+		}
+		newSuffix := append(suffix, id)
+		m.emit(newSuffix, t.counts[id])
+		if m.opts.MaxLen > 0 && len(newSuffix) >= m.opts.MaxLen {
+			newSuffix = newSuffix[:len(newSuffix)-1]
+			continue
+		}
+
+		// Conditional pattern base: prefix paths of every node of id.
+		cond := newTree(len(m.vocab))
+		for n := t.header[id]; n != -1; n = t.nodes[n].hlink {
+			cnt := t.nodes[n].count
+			var prefix []int32
+			for p := t.nodes[n].parent; p > 0; p = t.nodes[p].parent {
+				prefix = append(prefix, t.nodes[p].item)
+			}
+			if len(prefix) == 0 {
+				continue
+			}
+			// prefix was collected leaf->root; reverse to root->leaf which
+			// is ascending id order.
+			for a, b := 0, len(prefix)-1; a < b; a, b = a+1, b-1 {
+				prefix[a], prefix[b] = prefix[b], prefix[a]
+			}
+			cond.insert(prefix, cnt)
+		}
+		// Prune infrequent items from the conditional tree by rebuilding
+		// if needed: cheaper approach — only recurse if something is
+		// frequent in cond.
+		if condHasFrequent(cond, m.minCount) {
+			pruned := pruneTree(cond, m.minCount, len(m.vocab))
+			m.mine(pruned, newSuffix)
+		}
+	}
+}
+
+func condHasFrequent(t *tree, minCount int) bool {
+	for _, c := range t.counts {
+		if c >= minCount {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneTree rebuilds a conditional tree keeping only items frequent within
+// it. FP-Growth requires this so that single-path detection and counts stay
+// exact.
+func pruneTree(t *tree, minCount, numItems int) *tree {
+	keep := make([]bool, numItems)
+	any := false
+	for id, c := range t.counts {
+		if c >= minCount {
+			keep[id] = true
+			any = true
+		}
+	}
+	out := newTree(numItems)
+	if !any {
+		return out
+	}
+	// Re-extract transactions: walk each leaf-to-root path once per
+	// node's own count minus children sum. Simpler exact method: traverse
+	// all nodes; each node contributes (node count - sum of child counts)
+	// paths ending at that node.
+	var walk func(idx int32, path []int32)
+	walk = func(idx int32, path []int32) {
+		n := t.nodes[idx]
+		if idx != 0 && keep[n.item] {
+			path = append(path, n.item)
+		}
+		childSum := 0
+		for c := n.child; c != -1; c = t.nodes[c].sibling {
+			childSum += t.nodes[c].count
+			walk(c, path)
+		}
+		if idx != 0 {
+			if residual := n.count - childSum; residual > 0 && len(path) > 0 {
+				out.insert(path, residual)
+			}
+		}
+	}
+	walk(0, nil)
+	return out
+}
+
+// emitPathCombos emits every non-empty subset of the single path combined
+// with the suffix. Counts are the minimum node count within the subset
+// (nodes are nested, so the deepest selected node's count).
+func (m *miner) emitPathCombos(t *tree, path []int32, suffix []int32) {
+	// Node counts are non-increasing with depth on a single path; truncate
+	// at the first infrequent node so no emitted combination falls below
+	// the threshold (relevant for the unpruned top-level tree).
+	for len(path) > 0 && t.nodes[path[len(path)-1]].count < m.minCount {
+		path = path[:len(path)-1]
+	}
+	if len(path) == 0 {
+		return
+	}
+	n := len(path)
+	maxExtra := n
+	if m.opts.MaxLen > 0 {
+		maxExtra = m.opts.MaxLen - len(suffix)
+		if maxExtra <= 0 {
+			return
+		}
+		if maxExtra > n {
+			maxExtra = n
+		}
+	}
+	// Enumerate subsets via recursion to respect MaxLen cheaply.
+	var rec func(start int, chosen []int32, minCount int)
+	rec = func(start int, chosen []int32, minCount int) {
+		if m.stop {
+			return
+		}
+		if len(chosen) > 0 {
+			m.emit(append(append([]int32{}, suffix...), chosen...), minCount)
+		}
+		if len(chosen) >= maxExtra {
+			return
+		}
+		for i := start; i < n; i++ {
+			nodeIdx := path[i]
+			c := t.nodes[nodeIdx].count
+			nm := minCount
+			if c < nm || len(chosen) == 0 {
+				nm = c
+			}
+			rec(i+1, append(chosen, t.nodes[nodeIdx].item), nm)
+		}
+	}
+	rec(0, nil, 1<<62)
+}

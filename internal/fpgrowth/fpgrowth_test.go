@@ -1,0 +1,251 @@
+package fpgrowth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cuisines/internal/itemset"
+)
+
+func txn(names ...string) itemset.Transaction {
+	return itemset.Transaction{Items: itemset.FromNames(itemset.Ingredient, names...)}
+}
+
+func ds(txns ...itemset.Transaction) *itemset.Dataset {
+	return itemset.NewDataset(txns)
+}
+
+// patternMap keys pattern string -> count.
+func patternMap(ps []itemset.Pattern) map[string]int {
+	m := make(map[string]int, len(ps))
+	for _, p := range ps {
+		m[p.StringPattern()] = p.Count
+	}
+	return m
+}
+
+func TestMineTextbookExample(t *testing.T) {
+	// Classic FP-Growth paper example (Han et al. 2000, Table 1),
+	// minsup = 3/5.
+	d := ds(
+		txn("f", "a", "c", "d", "g", "i", "m", "p"),
+		txn("a", "b", "c", "f", "l", "m", "o"),
+		txn("b", "f", "h", "j", "o"),
+		txn("b", "c", "k", "s", "p"),
+		txn("a", "f", "c", "e", "l", "p", "m", "n"),
+	)
+	got := patternMap(Mine(d, 0.6))
+	want := map[string]int{
+		"f": 4, "c": 4, "a": 3, "b": 3, "m": 3, "p": 3,
+		"a+c": 3, "a+f": 3, "c+f": 3, "c+m": 3, "a+m": 3, "f+m": 3, "c+p": 3,
+		"a+c+f": 3, "a+c+m": 3, "a+f+m": 3, "c+f+m": 3, "a+c+f+m": 3,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d patterns, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("pattern %q count = %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestMineEmptyDataset(t *testing.T) {
+	if got := Mine(ds(), 0.5); got != nil {
+		t.Fatalf("empty dataset mined %v", got)
+	}
+}
+
+func TestMineSingleTransaction(t *testing.T) {
+	got := Mine(ds(txn("a", "b")), 1.0)
+	m := patternMap(got)
+	if len(m) != 3 || m["a"] != 1 || m["b"] != 1 || m["a+b"] != 1 {
+		t.Fatalf("single txn patterns = %v", m)
+	}
+}
+
+func TestMineSupportBoundary(t *testing.T) {
+	// 4 txns; support 0.5 -> minCount 2 exactly.
+	d := ds(txn("a", "b"), txn("a"), txn("c"), txn("c"))
+	m := patternMap(Mine(d, 0.5))
+	if m["a"] != 2 || m["c"] != 2 {
+		t.Fatalf("boundary supports wrong: %v", m)
+	}
+	if _, ok := m["b"]; ok {
+		t.Fatal("b (count 1) should not be frequent at 0.5")
+	}
+	if _, ok := m["a+b"]; ok {
+		t.Fatal("a+b should not be frequent")
+	}
+}
+
+func TestMineSupportValuesAreRelative(t *testing.T) {
+	d := ds(txn("a"), txn("a"), txn("a"), txn("b"))
+	for _, p := range Mine(d, 0.5) {
+		if p.StringPattern() == "a" && math.Abs(p.Support-0.75) > 1e-12 {
+			t.Fatalf("support of a = %v", p.Support)
+		}
+	}
+}
+
+func TestMineAbsoluteThreshold(t *testing.T) {
+	d := ds(txn("a"), txn("a"), txn("a"), txn("b"), txn("b"))
+	m := patternMap(Mine(d, 3)) // absolute count 3
+	if _, ok := m["b"]; ok {
+		t.Fatal("b has count 2 < 3")
+	}
+	if m["a"] != 3 {
+		t.Fatalf("a count = %d", m["a"])
+	}
+}
+
+func TestMaxLenOption(t *testing.T) {
+	d := ds(txn("a", "b", "c"), txn("a", "b", "c"))
+	ps := MineWithOptions(d, 0.5, Options{MaxLen: 2})
+	for _, p := range ps {
+		if p.Items.Len() > 2 {
+			t.Fatalf("pattern %v exceeds MaxLen", p)
+		}
+	}
+	m := patternMap(ps)
+	if len(m) != 6 { // a, b, c, ab, ac, bc
+		t.Fatalf("got %d patterns: %v", len(m), m)
+	}
+}
+
+func TestMaxPatternsOption(t *testing.T) {
+	d := ds(txn("a", "b", "c", "d"), txn("a", "b", "c", "d"))
+	ps := MineWithOptions(d, 0.5, Options{MaxPatterns: 5})
+	if len(ps) != 5 {
+		t.Fatalf("MaxPatterns ignored: %d", len(ps))
+	}
+}
+
+func TestSinglePathDeepCounts(t *testing.T) {
+	// Forces a single-path tree where deeper nodes are infrequent.
+	d := ds(txn("a"), txn("a"), txn("a"), txn("a", "b"))
+	m := patternMap(Mine(d, 0.5))
+	if len(m) != 1 || m["a"] != 4 {
+		t.Fatalf("patterns = %v", m)
+	}
+}
+
+func TestDuplicateItemsInTransaction(t *testing.T) {
+	// NewSet dedupes, so {a, a} counts a once.
+	tr := itemset.Transaction{Items: itemset.NewSet(
+		itemset.NewItem("a", itemset.Ingredient),
+		itemset.NewItem("a", itemset.Ingredient),
+	)}
+	m := patternMap(Mine(ds(tr, tr), 1.0))
+	if m["a"] != 2 || len(m) != 1 {
+		t.Fatalf("patterns = %v", m)
+	}
+}
+
+func TestMixedKindsMinedTogether(t *testing.T) {
+	// Sec. V.A: ingredients, processes and utensils concatenated.
+	tr := itemset.Transaction{Items: itemset.NewSet(
+		itemset.NewItem("soy sauce", itemset.Ingredient),
+		itemset.NewItem("heat", itemset.Process),
+		itemset.NewItem("wok", itemset.Utensil),
+	)}
+	m := patternMap(Mine(ds(tr, tr), 1.0))
+	if m["heat+soy sauce+wok"] != 2 {
+		t.Fatalf("mixed-kind pattern missing: %v", m)
+	}
+}
+
+// bruteForce mines by explicit subset enumeration over observed itemsets —
+// the oracle for the property test.
+func bruteForce(d *itemset.Dataset, minSupport float64) map[string]int {
+	minCount := d.MinCount(minSupport)
+	// Enumerate candidate sets: all subsets of each transaction (small
+	// transactions only).
+	seen := make(map[string]itemset.Set)
+	for _, t := range d.Transactions() {
+		items := t.Items.Items()
+		n := len(items)
+		for mask := 1; mask < 1<<n; mask++ {
+			var sub []itemset.Item
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					sub = append(sub, items[b])
+				}
+			}
+			s := itemset.NewSet(sub...)
+			seen[s.Key()] = s
+		}
+	}
+	out := make(map[string]int)
+	for _, s := range seen {
+		if c := d.SupportCount(s); c >= minCount {
+			out[itemset.StringPattern(s)] = c
+		}
+	}
+	return out
+}
+
+func randomDataset(r *rand.Rand, nTxn, alphabet, maxLen int) *itemset.Dataset {
+	txns := make([]itemset.Transaction, nTxn)
+	for i := range txns {
+		n := 1 + r.Intn(maxLen)
+		var items []itemset.Item
+		for j := 0; j < n; j++ {
+			items = append(items, itemset.NewItem(string(rune('a'+r.Intn(alphabet))), itemset.Ingredient))
+		}
+		txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+	}
+	return ds(txns...)
+}
+
+func TestMineMatchesBruteForceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		d := randomDataset(r, 5+r.Intn(20), 6, 5)
+		sup := []float64{0.2, 0.3, 0.5}[r.Intn(3)]
+		got := patternMap(Mine(d, sup))
+		want := bruteForce(d, sup)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d sup %v: %d patterns, oracle %d\ngot %v\nwant %v",
+				trial, sup, len(got), len(want), got, want)
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("trial %d: pattern %q count %d, oracle %d", trial, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestMineAntiMonotoneProperty(t *testing.T) {
+	// Every subset of a mined pattern must also be mined, with >= count.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDataset(r, 20, 5, 6)
+		ps := Mine(d, 0.25)
+		m := patternMap(ps)
+		for _, p := range ps {
+			items := p.Items.Items()
+			for skip := range items {
+				var sub []itemset.Item
+				for i, it := range items {
+					if i != skip {
+						sub = append(sub, it)
+					}
+				}
+				if len(sub) == 0 {
+					continue
+				}
+				key := itemset.StringPattern(itemset.NewSet(sub...))
+				c, ok := m[key]
+				if !ok {
+					t.Fatalf("subset %q of %q missing", key, p.StringPattern())
+				}
+				if c < p.Count {
+					t.Fatalf("subset %q count %d < superset %d", key, c, p.Count)
+				}
+			}
+		}
+	}
+}

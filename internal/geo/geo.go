@@ -1,0 +1,124 @@
+// Package geo provides the geographical substrate for the paper's
+// validation (Sec. VII, Fig. 6): representative centroid coordinates for
+// the 26 RecipeDB regions, great-circle distances between them, and the
+// geographic distance matrix that the validation tree is clustered from.
+//
+// The paper does not publish its coordinates; only relative distances
+// matter for the tree's shape, so standard region centroids are used.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cuisines/internal/distance"
+)
+
+// Region is a named point on the globe.
+type Region struct {
+	Name string
+	// Lat and Lon are in degrees, positive north/east.
+	Lat, Lon float64
+}
+
+// regionTable holds representative centroids for the 26 Table I regions.
+var regionTable = []Region{
+	{"Australian", -25.3, 133.8},
+	{"Belgian", 50.6, 4.5},
+	{"Canadian", 56.1, -106.3},
+	{"Caribbean", 18.2, -66.4},
+	{"Central American", 12.8, -85.0},
+	{"Chinese and Mongolian", 38.0, 104.2},
+	{"Deutschland", 51.2, 10.4},
+	{"Eastern European", 50.0, 25.0},
+	{"French", 46.6, 2.4},
+	{"Greek", 39.1, 22.0},
+	{"Indian Subcontinent", 21.0, 78.0},
+	{"Irish", 53.4, -8.2},
+	{"Italian", 42.8, 12.8},
+	{"Japanese", 36.2, 138.3},
+	{"Korean", 36.5, 127.8},
+	{"Mexican", 23.6, -102.6},
+	{"Middle Eastern", 29.3, 45.0},
+	{"Northern Africa", 28.0, 10.0},
+	{"Rest Africa", 2.0, 21.0},
+	{"Scandinavian", 62.0, 15.0},
+	{"South American", -14.0, -60.0},
+	{"Southeast Asian", 5.0, 110.0},
+	{"Spanish and Portuguese", 40.0, -4.0},
+	{"Thai", 15.0, 101.0},
+	{"UK", 54.0, -2.5},
+	{"US", 39.8, -98.6},
+}
+
+// Regions returns all known regions sorted by name.
+func Regions() []Region {
+	out := make([]Region, len(regionTable))
+	copy(out, regionTable)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RegionNames returns the sorted region names.
+func RegionNames() []string {
+	rs := Regions()
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Lookup returns the region with the given name.
+func Lookup(name string) (Region, error) {
+	for _, r := range regionTable {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Region{}, fmt.Errorf("geo: unknown region %q", name)
+}
+
+// EarthRadiusKm is the mean Earth radius used by Haversine.
+const EarthRadiusKm = 6371.0
+
+// Haversine returns the great-circle distance between two regions in
+// kilometres.
+func Haversine(a, b Region) float64 {
+	const deg = math.Pi / 180
+	lat1, lon1 := a.Lat*deg, a.Lon*deg
+	lat2, lon2 := b.Lat*deg, b.Lon*deg
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := sin2(dLat/2) + math.Cos(lat1)*math.Cos(lat2)*sin2(dLon/2)
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+func sin2(x float64) float64 {
+	s := math.Sin(x)
+	return s * s
+}
+
+// DistanceMatrix returns the condensed pairwise great-circle distance
+// matrix over the named regions, in the given order. Unknown names error.
+func DistanceMatrix(names []string) (*distance.Condensed, error) {
+	rs := make([]Region, len(names))
+	for i, n := range names {
+		r, err := Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	c := distance.NewCondensed(len(rs))
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			c.Set(i, j, Haversine(rs[i], rs[j]))
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRegionsSortedAndComplete(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 26 {
+		t.Fatalf("expected 26 regions, got %d", len(rs))
+	}
+	if !sort.SliceIsSorted(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name }) {
+		t.Fatal("regions not sorted")
+	}
+	seen := make(map[string]bool)
+	for _, r := range rs {
+		if seen[r.Name] {
+			t.Fatalf("duplicate region %s", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Lat < -90 || r.Lat > 90 || r.Lon < -180 || r.Lon > 180 {
+			t.Fatalf("coordinates out of range: %+v", r)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r, err := Lookup("Japanese")
+	if err != nil || r.Lat < 30 || r.Lat > 40 {
+		t.Fatalf("lookup Japanese = %+v, %v", r, err)
+	}
+	if _, err := Lookup("Atlantis"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	uk, _ := Lookup("UK")
+	fr, _ := Lookup("French")
+	jp, _ := Lookup("Japanese")
+	// UK-France centroids: under 1000 km.
+	if d := Haversine(uk, fr); d < 400 || d > 1100 {
+		t.Fatalf("UK-France = %v km", d)
+	}
+	// UK-Japan: roughly 9000-10000 km.
+	if d := Haversine(uk, jp); d < 8500 || d > 10500 {
+		t.Fatalf("UK-Japan = %v km", d)
+	}
+}
+
+func TestHaversineAxioms(t *testing.T) {
+	rs := Regions()
+	for _, a := range rs {
+		if Haversine(a, a) != 0 {
+			t.Fatalf("self distance nonzero for %s", a.Name)
+		}
+		for _, b := range rs {
+			d1, d2 := Haversine(a, b), Haversine(b, a)
+			if math.Abs(d1-d2) > 1e-9 {
+				t.Fatalf("asymmetric %s-%s", a.Name, b.Name)
+			}
+			if d1 < 0 || d1 > math.Pi*EarthRadiusKm+1 {
+				t.Fatalf("out of range: %v", d1)
+			}
+		}
+	}
+}
+
+func TestHaversineTriangle(t *testing.T) {
+	rs := Regions()
+	for i := 0; i < len(rs); i += 3 {
+		for j := 1; j < len(rs); j += 5 {
+			for k := 2; k < len(rs); k += 7 {
+				a, b, c := rs[i], rs[j], rs[k]
+				if Haversine(a, c) > Haversine(a, b)+Haversine(b, c)+1e-6 {
+					t.Fatalf("triangle violated %s %s %s", a.Name, b.Name, c.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	names := []string{"UK", "French", "Japanese"}
+	c, err := DistanceMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 {
+		t.Fatalf("n = %d", c.N())
+	}
+	uk, _ := Lookup("UK")
+	fr, _ := Lookup("French")
+	if math.Abs(c.At(0, 1)-Haversine(uk, fr)) > 1e-9 {
+		t.Fatal("matrix entry mismatch")
+	}
+	if _, err := DistanceMatrix([]string{"Narnia"}); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestGeographicNeighborsCloser(t *testing.T) {
+	// Sanity anchors for the Fig. 6 tree: neighbours beat distant pairs.
+	pairsCloser := [][2]string{{"UK", "Irish"}, {"Thai", "Southeast Asian"}, {"Korean", "Japanese"}}
+	pairsFarther := [][2]string{{"UK", "Australian"}, {"Thai", "Mexican"}, {"Korean", "South American"}}
+	for i := range pairsCloser {
+		a1, _ := Lookup(pairsCloser[i][0])
+		b1, _ := Lookup(pairsCloser[i][1])
+		a2, _ := Lookup(pairsFarther[i][0])
+		b2, _ := Lookup(pairsFarther[i][1])
+		if Haversine(a1, b1) >= Haversine(a2, b2) {
+			t.Fatalf("%v should be closer than %v", pairsCloser[i], pairsFarther[i])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package hac
+
+import (
+	"cuisines/internal/distance"
+)
+
+// Cophenetic returns the cophenetic distance matrix of the tree: for each
+// pair of observations, the height of their lowest common ancestor. This
+// is the quantity the validation pipeline correlates across trees
+// (Sec. VII is qualitative in the paper; we make it quantitative).
+func (t *Tree) Cophenetic() *distance.Condensed {
+	c := distance.NewCondensed(t.n)
+	// Post-order: each node knows the leaf set of each child; pairs across
+	// the two children meet exactly at this node.
+	var walk func(n *Node) []int
+	walk = func(n *Node) []int {
+		if n == nil {
+			return nil
+		}
+		if n.IsLeaf() {
+			return []int{n.Leaf}
+		}
+		l := walk(n.Left)
+		r := walk(n.Right)
+		for _, a := range l {
+			for _, b := range r {
+				c.Set(a, b, n.Height)
+			}
+		}
+		return append(l, r...)
+	}
+	walk(t.Root)
+	return c
+}
+
+// MergeHeightBetween returns the cophenetic distance between two named
+// observations, resolving labels first. It returns an error for unknown
+// labels.
+func (t *Tree) MergeHeightBetween(labelA, labelB string) (float64, error) {
+	ia, err := t.indexOf(labelA)
+	if err != nil {
+		return 0, err
+	}
+	ib, err := t.indexOf(labelB)
+	if err != nil {
+		return 0, err
+	}
+	if ia == ib {
+		return 0, nil
+	}
+	return t.Cophenetic().At(ia, ib), nil
+}
+
+func (t *Tree) indexOf(label string) (int, error) {
+	for i := 0; i < t.n; i++ {
+		if t.Label(i) == label {
+			return i, nil
+		}
+	}
+	return 0, errUnknownLabel(label)
+}
+
+type errUnknownLabel string
+
+func (e errUnknownLabel) Error() string { return "hac: unknown label " + string(e) }

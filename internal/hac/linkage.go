@@ -1,0 +1,203 @@
+// Package hac implements hierarchical agglomerative clustering in the
+// form the paper uses through scipy (Sec. VI.A): a condensed distance
+// matrix goes in, a scipy-compatible linkage matrix and dendrogram come
+// out. Supported linkage methods are the Lance-Williams family: single,
+// complete, average (UPGMA), weighted (WPGMA) and Ward. The package also
+// provides cluster cuts, cophenetic distances, and ASCII/Newick rendering
+// used to regenerate Figs. 2-6.
+package hac
+
+import (
+	"fmt"
+	"math"
+
+	"cuisines/internal/distance"
+)
+
+// Method selects the linkage criterion.
+type Method int
+
+const (
+	// Single links clusters by minimum pairwise distance.
+	Single Method = iota
+	// Complete links clusters by maximum pairwise distance.
+	Complete
+	// Average is UPGMA: size-weighted mean pairwise distance.
+	Average
+	// Weighted is WPGMA: unweighted mean of the two merged branches.
+	Weighted
+	// Ward minimizes within-cluster variance (requires Euclidean input
+	// distances for its variance interpretation; it is well-defined on any
+	// input).
+	Ward
+)
+
+// String returns the scipy-style method name.
+func (m Method) String() string {
+	switch m {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Weighted:
+		return "weighted"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod parses a scipy-style linkage method name.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "single":
+		return Single, nil
+	case "complete":
+		return Complete, nil
+	case "average", "upgma":
+		return Average, nil
+	case "weighted", "wpgma":
+		return Weighted, nil
+	case "ward":
+		return Ward, nil
+	default:
+		return 0, fmt.Errorf("hac: unknown linkage method %q", s)
+	}
+}
+
+// Merge is one row of the linkage matrix: clusters A and B (leaf ids are
+// 0..n-1; the i-th merge creates cluster n+i) joined at Height, producing
+// a cluster of Size leaves. A < B always, matching scipy's convention.
+type Merge struct {
+	A, B   int
+	Height float64
+	Size   int
+}
+
+// Linkage is a full agglomeration of n observations: n-1 merges in the
+// order they were performed (non-decreasing Height for reducible methods).
+type Linkage struct {
+	N      int
+	Merges []Merge
+	Method Method
+}
+
+// Cluster performs agglomerative clustering of the condensed distance
+// matrix with the given method. It returns an error if n < 1.
+//
+// The implementation is the classic O(n^2)-memory nearest-neighbor scan
+// with Lance-Williams updates: each step finds the globally closest active
+// pair, merges, and updates distances from the new cluster to every other
+// active cluster via the method's update rule. For the paper's n = 26 and
+// for the bench sizes used here this is comfortably fast while remaining
+// auditable against scipy.
+func Cluster(d *distance.Condensed, method Method) (*Linkage, error) {
+	n := d.N()
+	if n < 1 {
+		return nil, fmt.Errorf("hac: need at least one observation")
+	}
+	lk := &Linkage{N: n, Method: method, Merges: make([]Merge, 0, n-1)}
+	if n == 1 {
+		return lk, nil
+	}
+
+	// Working distance matrix between active clusters, indexed by slot.
+	// Slot i initially holds leaf i; merged clusters reuse the lower slot.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := d.At(i, j)
+			dist[i][j] = v
+			dist[j][i] = v
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	id := make([]int, n) // slot -> current cluster id
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		id[i] = i
+	}
+
+	next := n
+	for step := 0; step < n-1; step++ {
+		// Find globally closest active pair.
+		bi, bj := -1, -1
+		best := 0.0
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if bi == -1 || dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+
+		ni, nj := float64(size[bi]), float64(size[bj])
+		a, b := id[bi], id[bj]
+		if a > b {
+			a, b = b, a
+		}
+		lk.Merges = append(lk.Merges, Merge{A: a, B: b, Height: best, Size: size[bi] + size[bj]})
+
+		// Lance-Williams update: new cluster occupies slot bi.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			dik, djk := dist[bi][k], dist[bj][k]
+			var nd float64
+			switch method {
+			case Single:
+				nd = min(dik, djk)
+			case Complete:
+				nd = max(dik, djk)
+			case Average:
+				nd = (ni*dik + nj*djk) / (ni + nj)
+			case Weighted:
+				nd = (dik + djk) / 2
+			case Ward:
+				nk := float64(size[k])
+				t := ni + nj + nk
+				sq := ((ni+nk)*dik*dik + (nj+nk)*djk*djk - nk*best*best) / t
+				if sq < 0 {
+					sq = 0
+				}
+				nd = math.Sqrt(sq)
+			}
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		active[bj] = false
+		size[bi] += size[bj]
+		id[bi] = next
+		next++
+	}
+	return lk, nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package hac
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cuisines/internal/distance"
+)
+
+// ClusterNNChain performs the same agglomeration as Cluster using the
+// nearest-neighbor-chain algorithm (Benzécri 1982 / Murtagh 1985): grow a
+// chain of nearest neighbors until two clusters are mutually nearest,
+// merge them, and continue from the remaining chain. For *reducible*
+// linkage methods (single, complete, average, ward — not weighted in
+// general, though WPGMA is reducible too) NN-chain provably produces the
+// same merge set as the global-minimum algorithm, in O(n^2) time instead
+// of O(n^3).
+//
+// Merges may be discovered in a different order than Cluster's
+// globally-min-first order; the result is normalized to scipy's
+// convention (sorted by height, then cluster ids renumbered in merge
+// order), so for inputs with distinct pairwise distances the two
+// implementations produce identical Linkage values — a property the
+// tests assert.
+func ClusterNNChain(d *distance.Condensed, method Method) (*Linkage, error) {
+	n := d.N()
+	if n < 1 {
+		return nil, fmt.Errorf("hac: need at least one observation")
+	}
+	lk := &Linkage{N: n, Method: method, Merges: make([]Merge, 0, n-1)}
+	if n == 1 {
+		return lk, nil
+	}
+
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := d.At(i, j)
+			dist[i][j] = v
+			dist[j][i] = v
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+	}
+	// members records, per slot, the original leaf set — used only to
+	// reconstruct scipy-style cluster ids after sorting merges by height.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+
+	type rawMerge struct {
+		height float64
+		a, b   []int // leaf sets of the two merged clusters
+	}
+	var raws []rawMerge
+
+	chain := make([]int, 0, n)
+	remaining := n
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			tip := chain[len(chain)-1]
+			// Nearest active neighbor of tip, preferring the previous
+			// chain element on ties (required for correctness).
+			var prev = -1
+			if len(chain) >= 2 {
+				prev = chain[len(chain)-2]
+			}
+			best, bd := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if !active[j] || j == tip {
+					continue
+				}
+				dj := dist[tip][j]
+				if dj < bd || (dj == bd && j == prev) {
+					best, bd = j, dj
+				}
+			}
+			if best == prev {
+				// Mutual nearest neighbors: merge tip and prev.
+				chain = chain[:len(chain)-2]
+				i, j := tip, prev
+				ni, nj := float64(size[i]), float64(size[j])
+				raws = append(raws, rawMerge{
+					height: bd,
+					a:      members[i],
+					b:      members[j],
+				})
+				// Lance-Williams update into slot i.
+				for k := 0; k < n; k++ {
+					if !active[k] || k == i || k == j {
+						continue
+					}
+					dik, djk := dist[i][k], dist[j][k]
+					var nd float64
+					switch method {
+					case Single:
+						nd = min(dik, djk)
+					case Complete:
+						nd = max(dik, djk)
+					case Average:
+						nd = (ni*dik + nj*djk) / (ni + nj)
+					case Weighted:
+						nd = (dik + djk) / 2
+					case Ward:
+						nk := float64(size[k])
+						t := ni + nj + nk
+						sq := ((ni+nk)*dik*dik + (nj+nk)*djk*djk - nk*bd*bd) / t
+						if sq < 0 {
+							sq = 0
+						}
+						nd = math.Sqrt(sq)
+					}
+					dist[i][k] = nd
+					dist[k][i] = nd
+				}
+				active[j] = false
+				size[i] += size[j]
+				merged := make([]int, 0, len(members[i])+len(members[j]))
+				merged = append(merged, members[i]...)
+				merged = append(merged, members[j]...)
+				members[i] = merged
+				remaining--
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+
+	// Normalize: sort merges by height (stable on discovery order) and
+	// assign scipy ids.
+	sort.SliceStable(raws, func(i, j int) bool { return raws[i].height < raws[j].height })
+	idOf := make(map[string]int, 2*n) // leaf-set key -> current cluster id
+	for i := 0; i < n; i++ {
+		idOf[leafKey([]int{i})] = i
+	}
+	for i, rm := range raws {
+		a := idOf[leafKey(rm.a)]
+		b := idOf[leafKey(rm.b)]
+		if a > b {
+			a, b = b, a
+		}
+		union := append(append([]int{}, rm.a...), rm.b...)
+		idOf[leafKey(union)] = n + i
+		lk.Merges = append(lk.Merges, Merge{A: a, B: b, Height: rm.height, Size: len(union)})
+	}
+	return lk, nil
+}
+
+func leafKey(leaves []int) string {
+	s := append([]int{}, leaves...)
+	sort.Ints(s)
+	b := make([]byte, 0, len(s)*3)
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,111 @@
+package hac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cuisines/internal/distance"
+	"cuisines/internal/matrix"
+)
+
+func TestNNChainTwoPoints(t *testing.T) {
+	lk, err := ClusterNNChain(cond(2, 3.5), Average)
+	if err != nil || len(lk.Merges) != 1 || !almostEq(lk.Merges[0].Height, 3.5) {
+		t.Fatalf("lk=%v err=%v", lk, err)
+	}
+}
+
+func TestNNChainSingleObservation(t *testing.T) {
+	lk, err := ClusterNNChain(distance.NewCondensed(1), Ward)
+	if err != nil || len(lk.Merges) != 0 {
+		t.Fatalf("lk=%v err=%v", lk, err)
+	}
+}
+
+// Property: for reducible methods on random inputs with distinct
+// distances, NN-chain reproduces the naive algorithm's linkage exactly.
+func TestNNChainMatchesNaiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	methods := []Method{Single, Complete, Average, Ward}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(20)
+		m := matrix.NewDense(n, 3)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				m.Set(i, j, r.NormFloat64()*10)
+			}
+		}
+		d := distance.Pdist(m, distance.Euclidean)
+		for _, method := range methods {
+			naive, err := Cluster(d, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, err := ClusterNNChain(d, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(naive.Merges) != len(chain.Merges) {
+				t.Fatalf("%v: merge counts differ", method)
+			}
+			for i := range naive.Merges {
+				nm, cm := naive.Merges[i], chain.Merges[i]
+				if nm.A != cm.A || nm.B != cm.B || nm.Size != cm.Size ||
+					math.Abs(nm.Height-cm.Height) > 1e-9 {
+					t.Fatalf("%v merge %d: naive %+v vs chain %+v", method, i, nm, cm)
+				}
+			}
+		}
+	}
+}
+
+// Even with tied distances (where merge identity may legitimately
+// differ), the cophenetic structure must agree in heights multiset and
+// both trees must be valid.
+func TestNNChainTiedDistances(t *testing.T) {
+	// Four corners of a square: all nearest-neighbor distances tied.
+	m := matrix.FromRows([][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}})
+	d := distance.Pdist(m, distance.Euclidean)
+	for _, method := range []Method{Single, Complete, Average, Ward} {
+		naive, _ := Cluster(d, method)
+		chain, err := ClusterNNChain(d, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hn := naive.Heights()
+		hc := chain.Heights()
+		sortFloats(hn)
+		sortFloats(hc)
+		for i := range hn {
+			if math.Abs(hn[i]-hc[i]) > 1e-9 {
+				t.Fatalf("%v: height multiset differs: %v vs %v", method, hn, hc)
+			}
+		}
+		if _, err := BuildTree(chain, nil); err != nil {
+			t.Fatalf("%v: invalid chain tree: %v", method, err)
+		}
+	}
+}
+
+func TestNNChainMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(15)
+		m := matrix.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			m.Set(i, 0, r.Float64()*100)
+			m.Set(i, 1, r.Float64()*100)
+		}
+		d := distance.Pdist(m, distance.Euclidean)
+		for _, method := range []Method{Single, Complete, Average, Ward} {
+			lk, err := ClusterNNChain(d, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lk.IsMonotone() {
+				t.Fatalf("%v: NN-chain heights not monotone", method)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package hac
+
+import (
+	"strings"
+	"testing"
+
+	"cuisines/internal/distance"
+)
+
+// golden layout for a fixed 4-leaf tree; guards the renderer against
+// regressions in joint placement.
+func TestASCIIGolden(t *testing.T) {
+	// Points on a line: 0, 1, 10, 12 (average linkage).
+	c := distance.NewCondensed(4)
+	c.Set(0, 1, 1)
+	c.Set(0, 2, 10)
+	c.Set(0, 3, 12)
+	c.Set(1, 2, 9)
+	c.Set(1, 3, 11)
+	c.Set(2, 3, 2)
+	lk, err := Cluster(c, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(lk, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.ASCII(RenderOptions{Width: 20, ShowScale: false})
+	// Verified layout: {a,b} join at the left, the parent stem leaves
+	// the top of their connector; {c,d} join further right and meet the
+	// root at the far column.
+	want := strings.Join([]string{
+		"a ─┬─────────────────┐",
+		"b ─┘                 │",
+		"c ───┬───────────────┘",
+		"d ───┘",
+		"",
+	}, "\n")
+	if out != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestNewickQuoting(t *testing.T) {
+	c := distance.NewCondensed(2)
+	c.Set(0, 1, 1)
+	lk, _ := Cluster(c, Single)
+	tree, _ := BuildTree(lk, []string{"it's", "plain"})
+	nw := tree.Newick()
+	if !strings.Contains(nw, "'it''s'") {
+		t.Fatalf("apostrophe not escaped: %q", nw)
+	}
+}
+
+func TestRenderSingleLeaf(t *testing.T) {
+	lk, _ := Cluster(distance.NewCondensed(1), Average)
+	tree, _ := BuildTree(lk, []string{"only"})
+	out := tree.Render()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("single leaf render: %q", out)
+	}
+	if nw := tree.Newick(); nw != "only;" {
+		t.Fatalf("single leaf newick: %q", nw)
+	}
+}

@@ -1,0 +1,117 @@
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is a frequent itemset together with its measured support in the
+// dataset it was mined from. This corresponds to one row of the
+// per-cuisine rule files the paper's pipeline produces from FP-Growth.
+type Pattern struct {
+	Items Set
+	// Support is relative support in [0, 1].
+	Support float64
+	// Count is absolute support (number of transactions containing Items).
+	Count int
+}
+
+// String renders "a + b (0.34)", matching Table I's notation.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s (%.2f)", p.Items.String(), p.Support)
+}
+
+// StringPattern returns the paper's "string pattern" encoding of the
+// itemset (Sec. VI.A): the sorted element names appended together into a
+// single string. This string is the categorical value fed to the label
+// encoder. A '+' joiner keeps the encoding injective for multi-word item
+// names.
+func (p Pattern) StringPattern() string { return StringPattern(p.Items) }
+
+// StringPattern encodes a set as the paper's sorted, concatenated string
+// form.
+func StringPattern(s Set) string {
+	names := s.Names() // already canonically sorted
+	return strings.Join(names, "+")
+}
+
+// SortPatterns orders patterns for stable reporting: by descending
+// support, then ascending size, then lexicographic string pattern. The
+// paper sorts its frozensets before stringifying; a total order here makes
+// every report and test deterministic.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support > ps[j].Support
+		}
+		if ps[i].Items.Len() != ps[j].Items.Len() {
+			return ps[i].Items.Len() < ps[j].Items.Len()
+		}
+		return StringPattern(ps[i].Items) < StringPattern(ps[j].Items)
+	})
+}
+
+// PatternKey returns a canonical map key for the pattern's itemset.
+func PatternKey(p Pattern) string { return p.Items.Key() }
+
+// DedupePatterns removes duplicate itemsets, keeping the first occurrence,
+// and returns the deduplicated slice. The input order is preserved.
+func DedupePatterns(ps []Pattern) []Pattern {
+	seen := make(map[string]bool, len(ps))
+	out := ps[:0]
+	for _, p := range ps {
+		k := p.Items.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// MaximalPatterns filters to patterns with no frequent proper superset in
+// the same slice. O(n^2) subset checks are acceptable at per-cuisine
+// pattern counts (tens to low hundreds, per Table I).
+func MaximalPatterns(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		maximal := true
+		for j, q := range ps {
+			if i == j || q.Items.Len() <= p.Items.Len() {
+				continue
+			}
+			if q.Items.ContainsAll(p.Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ClosedPatterns filters to closed patterns: no proper superset with the
+// same support count.
+func ClosedPatterns(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		closed := true
+		for j, q := range ps {
+			if i == j || q.Items.Len() <= p.Items.Len() {
+				continue
+			}
+			if q.Count == p.Count && q.Items.ContainsAll(p.Items) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}

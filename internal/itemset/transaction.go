@@ -1,0 +1,93 @@
+package itemset
+
+// Transaction is one mining input: a recipe reduced to its canonical set of
+// items plus an opaque identifier. Sec. V.A: "Ingredients, utensils and
+// processes were concatenated and the FP-Growth Algorithm was applied."
+type Transaction struct {
+	// ID identifies the source recipe (for traceability in reports).
+	ID string
+	// Items is the canonical itemset of the recipe.
+	Items Set
+}
+
+// Dataset is an ordered collection of transactions, the unit the miners
+// operate on (one Dataset per cuisine in the paper's pipeline).
+type Dataset struct {
+	transactions []Transaction
+}
+
+// NewDataset wraps the given transactions. The slice is retained.
+func NewDataset(ts []Transaction) *Dataset {
+	return &Dataset{transactions: ts}
+}
+
+// Len returns the number of transactions.
+func (d *Dataset) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.transactions)
+}
+
+// At returns the i-th transaction.
+func (d *Dataset) At(i int) Transaction { return d.transactions[i] }
+
+// Transactions returns the underlying slice (not a copy).
+func (d *Dataset) Transactions() []Transaction { return d.transactions }
+
+// Append adds a transaction.
+func (d *Dataset) Append(t Transaction) { d.transactions = append(d.transactions, t) }
+
+// ItemCounts returns the number of transactions containing each item.
+func (d *Dataset) ItemCounts() map[Item]int {
+	counts := make(map[Item]int)
+	for _, t := range d.transactions {
+		for _, it := range t.Items.Items() {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// Support returns the fraction of transactions containing every item of
+// the given set. An empty set has support 1 by convention; an empty
+// dataset yields 0.
+func (d *Dataset) Support(s Set) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	return float64(d.SupportCount(s)) / float64(d.Len())
+}
+
+// SupportCount returns the absolute number of transactions containing the
+// set.
+func (d *Dataset) SupportCount(s Set) int {
+	n := 0
+	for _, t := range d.transactions {
+		if t.Items.ContainsAll(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// MinCount converts a relative support threshold in [0,1] to the smallest
+// absolute transaction count that satisfies it: ceil(support * len).
+// Thresholds above 1 are interpreted as absolute counts already.
+func (d *Dataset) MinCount(support float64) int {
+	if support <= 0 {
+		return 1
+	}
+	if support > 1 {
+		return int(support)
+	}
+	n := float64(d.Len()) * support
+	c := int(n)
+	if float64(c) < n {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

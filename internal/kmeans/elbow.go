@@ -1,0 +1,107 @@
+package kmeans
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cuisines/internal/matrix"
+)
+
+// ElbowPoint is one (k, WCSS) sample of the elbow curve.
+type ElbowPoint struct {
+	K    int
+	WCSS float64
+}
+
+// ElbowCurve is the Fig. 1 analysis: WCSS for k = 1..KMax plus the
+// curvature-based elbow diagnostic.
+type ElbowCurve struct {
+	Points []ElbowPoint
+	// ElbowK is the k with maximal discrete curvature (second
+	// difference of normalized WCSS); 0 if the curve has fewer than three
+	// points.
+	ElbowK int
+	// ElbowStrength is that curvature relative to the total WCSS drop, in
+	// [0, 1]-ish units. Low values mean "no sharp elbow" — the paper's
+	// Fig. 1 conclusion.
+	ElbowStrength float64
+}
+
+// Elbow runs k-means for k = 1..kMax and assembles the elbow curve.
+func Elbow(x *matrix.Dense, kMax int, opts Options) (*ElbowCurve, error) {
+	if kMax < 1 {
+		return nil, fmt.Errorf("kmeans: kMax must be >= 1")
+	}
+	if kMax > x.Rows() {
+		kMax = x.Rows()
+	}
+	curve := &ElbowCurve{}
+	for k := 1; k <= kMax; k++ {
+		// Derive a per-k seed so curves are stable under kMax changes.
+		o := opts
+		o.Seed = opts.Seed*1000003 + uint64(k)
+		res, err := Run(x, k, o)
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, ElbowPoint{K: k, WCSS: res.WCSS})
+	}
+	curve.analyze()
+	return curve, nil
+}
+
+func (c *ElbowCurve) analyze() {
+	n := len(c.Points)
+	if n < 3 {
+		return
+	}
+	total := c.Points[0].WCSS - c.Points[n-1].WCSS
+	if total <= 0 {
+		return
+	}
+	best, bestCurv := 0, 0.0
+	for i := 1; i < n-1; i++ {
+		curv := (c.Points[i-1].WCSS - 2*c.Points[i].WCSS + c.Points[i+1].WCSS) / total
+		if curv > bestCurv {
+			best, bestCurv = c.Points[i].K, curv
+		}
+	}
+	c.ElbowK = best
+	c.ElbowStrength = bestCurv
+}
+
+// Sharp reports whether the curve has a pronounced elbow. The paper's
+// Fig. 1 finds none on the cuisine features; the threshold is the
+// documented convention this repository uses for that judgement (three
+// clean synthetic blobs score ~0.37, featureless noise scores < 0.15).
+func (c *ElbowCurve) Sharp() bool { return c.ElbowStrength >= 0.3 }
+
+// Render writes an ASCII rendition of Fig. 1: WCSS bars against k.
+func (c *ElbowCurve) Render(w io.Writer) error {
+	if len(c.Points) == 0 {
+		return nil
+	}
+	max := 0.0
+	for _, p := range c.Points {
+		if p.WCSS > max {
+			max = p.WCSS
+		}
+	}
+	for _, p := range c.Points {
+		width := 0
+		if max > 0 {
+			width = int(math.Round(p.WCSS / max * 50))
+		}
+		if _, err := fmt.Fprintf(w, "k=%-3d %10.2f %s\n", p.K, p.WCSS, strings.Repeat("#", width)); err != nil {
+			return err
+		}
+	}
+	verdict := "no sharp elbow (matches the paper's Fig. 1 finding)"
+	if c.Sharp() {
+		verdict = fmt.Sprintf("sharp elbow at k=%d", c.ElbowK)
+	}
+	_, err := fmt.Fprintf(w, "max curvature at k=%d (strength %.3f): %s\n", c.ElbowK, c.ElbowStrength, verdict)
+	return err
+}

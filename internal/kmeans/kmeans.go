@@ -1,0 +1,230 @@
+// Package kmeans implements Lloyd's K-means with k-means++ seeding,
+// restarts, WCSS (within-cluster sum of squares), silhouette scores and
+// the elbow analysis of the paper's Fig. 1 — which the paper uses to argue
+// that K-means finds no natural cluster count on the cuisine features
+// ("no sharp edge or elbow like structure is obtained"), motivating
+// hierarchical clustering instead.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"cuisines/internal/matrix"
+	"cuisines/internal/rng"
+)
+
+// Result is one clustering outcome.
+type Result struct {
+	K int
+	// Assign maps each observation to a cluster in [0, K).
+	Assign []int
+	// Centroids is the K x dims centroid matrix.
+	Centroids *matrix.Dense
+	// WCSS is the within-cluster sum of squared distances (inertia).
+	WCSS float64
+	// Iterations actually run in the winning restart.
+	Iterations int
+}
+
+// Options tunes Run.
+type Options struct {
+	// MaxIter bounds Lloyd iterations per restart (default 100).
+	MaxIter int
+	// Restarts runs k-means++ this many times and keeps the best WCSS
+	// (default 8).
+	Restarts int
+	// Seed drives the deterministic RNG (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Run clusters the rows of x into k clusters. It errors if k is out of
+// range.
+func Run(x *matrix.Dense, k int, opts Options) (*Result, error) {
+	n := x.Rows()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmeans: k=%d out of range for %d observations", k, n)
+	}
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed)
+
+	var best *Result
+	for restart := 0; restart < opts.Restarts; restart++ {
+		res := lloyd(x, k, r.Fork(), opts.MaxIter)
+		if best == nil || res.WCSS < best.WCSS {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(x *matrix.Dense, k int, r *rng.RNG, maxIter int) *Result {
+	n, d := x.Rows(), x.Cols()
+	centroids := seedPlusPlus(x, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			bi, bd := 0, math.Inf(1)
+			row := x.Row(i)
+			for c := 0; c < k; c++ {
+				dist := sqDist(row, centroids.Row(c))
+				if dist < bd {
+					bi, bd = c, dist
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		counts := make([]int, k)
+		next := matrix.NewDense(k, d)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := x.Row(i)
+			crow := next.Row(c)
+			for j, v := range row {
+				crow[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid (standard fix).
+				far, fd := 0, -1.0
+				for i := 0; i < n; i++ {
+					dist := sqDist(x.Row(i), centroids.Row(assign[i]))
+					if dist > fd {
+						far, fd = i, dist
+					}
+				}
+				copy(next.Row(c), x.Row(far))
+				counts[c] = 1
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range next.Row(c) {
+				next.Row(c)[j] *= inv
+			}
+		}
+		centroids = next
+	}
+
+	wcss := 0.0
+	for i := 0; i < n; i++ {
+		wcss += sqDist(x.Row(i), centroids.Row(assign[i]))
+	}
+	return &Result{K: k, Assign: assign, Centroids: centroids, WCSS: wcss, Iterations: iter}
+}
+
+// seedPlusPlus is k-means++ initialization (Arthur & Vassilvitskii 2007).
+func seedPlusPlus(x *matrix.Dense, k int, r *rng.RNG) *matrix.Dense {
+	n, d := x.Rows(), x.Cols()
+	centroids := matrix.NewDense(k, d)
+	first := r.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = sqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		idx := r.WeightedChoice(dist)
+		copy(centroids.Row(c), x.Row(idx))
+		for i := 0; i < n; i++ {
+			if nd := sqDist(x.Row(i), centroids.Row(c)); nd < dist[i] {
+				dist[i] = nd
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette coefficient of an assignment
+// (euclidean), in [-1, 1]; higher is better-separated. Observations in
+// singleton clusters contribute 0, matching sklearn.
+func Silhouette(x *matrix.Dense, assign []int) float64 {
+	n := x.Rows()
+	if n < 2 {
+		return 0
+	}
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if sizes[assign[i]] <= 1 {
+			continue
+		}
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(sqDist(x.Row(i), x.Row(j)))
+		}
+		own := assign[i]
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,217 @@
+package kmeans
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cuisines/internal/matrix"
+	"cuisines/internal/rng"
+)
+
+// threeBlobs builds three well-separated 2-D clusters of m points each.
+func threeBlobs(m int) *matrix.Dense {
+	r := rng.New(99)
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	x := matrix.NewDense(3*m, 2)
+	for c, center := range centers {
+		for i := 0; i < m; i++ {
+			x.Set(c*m+i, 0, center[0]+r.NormFloat64()*0.5)
+			x.Set(c*m+i, 1, center[1]+r.NormFloat64()*0.5)
+		}
+	}
+	return x
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	x := threeBlobs(20)
+	res, err := Run(x, 3, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of a blob share one label, labels distinct across blobs.
+	for c := 0; c < 3; c++ {
+		label := res.Assign[c*20]
+		for i := 0; i < 20; i++ {
+			if res.Assign[c*20+i] != label {
+				t.Fatalf("blob %d split across clusters", c)
+			}
+		}
+	}
+	if res.Assign[0] == res.Assign[20] || res.Assign[20] == res.Assign[40] || res.Assign[0] == res.Assign[40] {
+		t.Fatal("blobs merged")
+	}
+	if res.WCSS > 100 {
+		t.Fatalf("WCSS too high: %v", res.WCSS)
+	}
+}
+
+func TestRunKBounds(t *testing.T) {
+	x := threeBlobs(2)
+	if _, err := Run(x, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Run(x, 7, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestRunKEqualsN(t *testing.T) {
+	x := matrix.FromRows([][]float64{{0}, {5}, {9}})
+	res, err := Run(x, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCSS > 1e-12 {
+		t.Fatalf("k=n WCSS = %v, want 0", res.WCSS)
+	}
+}
+
+func TestRunK1(t *testing.T) {
+	x := matrix.FromRows([][]float64{{0, 0}, {2, 0}})
+	res, err := Run(x, 1, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid at (1,0), WCSS = 1 + 1 = 2.
+	if math.Abs(res.WCSS-2) > 1e-9 {
+		t.Fatalf("WCSS = %v", res.WCSS)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	x := threeBlobs(10)
+	a, _ := Run(x, 3, Options{Seed: 42})
+	b, _ := Run(x, 3, Options{Seed: 42})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+	if a.WCSS != b.WCSS {
+		t.Fatal("same seed, different WCSS")
+	}
+}
+
+func TestWCSSNonIncreasingInK(t *testing.T) {
+	x := threeBlobs(10)
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		res, err := Run(x, k, Options{Seed: 7, Restarts: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow a whisker of slack: restarts make this monotone in
+		// practice but not by construction.
+		if res.WCSS > prev*1.02+1e-9 {
+			t.Fatalf("WCSS increased at k=%d: %v -> %v", k, prev, res.WCSS)
+		}
+		prev = res.WCSS
+	}
+}
+
+func TestElbowCurveOnBlobs(t *testing.T) {
+	x := threeBlobs(15)
+	curve, err := Elbow(x, 8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 8 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	// Three genuine blobs -> sharp elbow at k=3.
+	if curve.ElbowK != 3 {
+		t.Fatalf("elbow at k=%d, want 3", curve.ElbowK)
+	}
+	if !curve.Sharp() {
+		t.Fatalf("elbow strength %v should be sharp on blobs", curve.ElbowStrength)
+	}
+}
+
+func TestElbowNoStructure(t *testing.T) {
+	// Uniform noise: no elbow should be sharp.
+	r := rng.New(11)
+	x := matrix.NewDense(40, 5)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, r.Float64())
+		}
+	}
+	curve, err := Elbow(x, 10, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Sharp() {
+		t.Fatalf("uniform noise produced a sharp elbow (strength %v)", curve.ElbowStrength)
+	}
+}
+
+func TestElbowKMaxClamped(t *testing.T) {
+	x := matrix.FromRows([][]float64{{0}, {1}, {2}})
+	curve, err := Elbow(x, 10, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 3 {
+		t.Fatalf("kMax not clamped: %d points", len(curve.Points))
+	}
+	if _, err := Elbow(x, 0, Options{}); err == nil {
+		t.Fatal("kMax=0 accepted")
+	}
+}
+
+func TestElbowRender(t *testing.T) {
+	x := threeBlobs(10)
+	curve, _ := Elbow(x, 5, Options{Seed: 3})
+	var b strings.Builder
+	if err := curve.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "k=1") || !strings.Contains(out, "max curvature") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	x := threeBlobs(10)
+	good, _ := Run(x, 3, Options{Seed: 5})
+	sGood := Silhouette(x, good.Assign)
+	if sGood < 0.7 {
+		t.Fatalf("silhouette on perfect blobs = %v", sGood)
+	}
+	// Random assignment should score much worse.
+	r := rng.New(13)
+	bad := make([]int, x.Rows())
+	for i := range bad {
+		bad[i] = r.Intn(3)
+	}
+	if sBad := Silhouette(x, bad); sBad >= sGood {
+		t.Fatalf("random assignment silhouette %v >= %v", sBad, sGood)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	x := matrix.FromRows([][]float64{{0}, {1}})
+	if s := Silhouette(x, []int{0, 0}); s != 0 {
+		t.Fatalf("single cluster silhouette = %v", s)
+	}
+	if s := Silhouette(matrix.FromRows([][]float64{{0}}), []int{0}); s != 0 {
+		t.Fatalf("single point silhouette = %v", s)
+	}
+}
+
+func TestEmptyClusterReseeded(t *testing.T) {
+	// Duplicated points make empty clusters likely; Run must still return
+	// k centroids and a valid assignment.
+	x := matrix.FromRows([][]float64{{0}, {0}, {0}, {0}, {10}})
+	res, err := Run(x, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assign {
+		if c < 0 || c >= 3 {
+			t.Fatalf("assignment out of range: %v", res.Assign)
+		}
+	}
+}

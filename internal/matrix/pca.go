@@ -1,0 +1,144 @@
+package matrix
+
+import "math"
+
+// PrincipalCoordinates projects the rows of x onto their top-k principal
+// components, returning an n x k coordinate matrix and the component
+// variances (eigenvalues of the covariance, descending). It is the
+// ordination used for the 2-D "cuisine map" view of the authenticity
+// features.
+//
+// The implementation power-iterates the n x n Gram matrix of the
+// column-centered data with deflation — O(n^2) per iteration regardless
+// of feature count, which suits this package's tall-and-wide matrices
+// (26 cuisines x thousands of patterns). The sign of each component is
+// normalized (largest-magnitude coordinate positive) so results are
+// deterministic.
+func (m *Dense) PrincipalCoordinates(k, iters int) (*Dense, []float64) {
+	n := m.Rows()
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return NewDense(n, 0), nil
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+
+	// Column-center a working copy.
+	c := m.Clone()
+	c.CenterColumns()
+
+	// Gram matrix G = C * C^T.
+	g := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		ri := c.Row(i)
+		for j := i; j < n; j++ {
+			s := 0.0
+			rj := c.Row(j)
+			for t := range ri {
+				s += ri[t] * rj[t]
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+
+	coords := NewDense(n, k)
+	eigvals := make([]float64, 0, k)
+	v := make([]float64, n)
+	gv := make([]float64, n)
+	for comp := 0; comp < k; comp++ {
+		// Deterministic start vector.
+		for i := range v {
+			v[i] = 1 / float64(i+1+comp)
+		}
+		normalize(v)
+		lambda := 0.0
+		for it := 0; it < iters; it++ {
+			matVec(g, v, gv)
+			l := norm(gv)
+			if l == 0 {
+				break
+			}
+			for i := range v {
+				v[i] = gv[i] / l
+			}
+			if math.Abs(l-lambda) < 1e-12*math.Max(1, l) {
+				lambda = l
+				break
+			}
+			lambda = l
+		}
+		if lambda <= 1e-12 {
+			break
+		}
+		// Sign convention: largest-magnitude entry positive.
+		maxAbs, sign := 0.0, 1.0
+		for _, x := range v {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+				if x < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		scale := sign * math.Sqrt(lambda)
+		for i := 0; i < n; i++ {
+			coords.Set(i, comp, v[i]*scale)
+		}
+		// Covariance eigenvalue = Gram eigenvalue / n.
+		eigvals = append(eigvals, lambda/float64(n))
+		// Deflate.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.Add(i, j, -lambda*v[i]*v[j])
+			}
+		}
+	}
+	if len(eigvals) < k {
+		coords = coords.SelectColumns(seq(len(eigvals)))
+	}
+	return coords, eigvals
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func matVec(g *Dense, v, out []float64) {
+	n := g.Rows()
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := g.Row(i)
+		for j := 0; j < n; j++ {
+			s += row[j] * v[j]
+		}
+		out[i] = s
+	}
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	l := norm(v)
+	if l == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= l
+	}
+}

@@ -1,0 +1,131 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"cuisines/internal/rng"
+)
+
+// planted builds points that live on a 2-D plane embedded in dim
+// dimensions, with anisotropic spread.
+func planted(n, dim int, seed uint64) *Dense {
+	r := rng.New(seed)
+	// Two random orthogonal-ish directions.
+	u := make([]float64, dim)
+	v := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		u[i] = r.NormFloat64()
+		v[i] = r.NormFloat64()
+	}
+	m := NewDense(n, dim)
+	for i := 0; i < n; i++ {
+		a := r.NormFloat64() * 10 // large variance direction
+		b := r.NormFloat64() * 3  // smaller
+		for j := 0; j < dim; j++ {
+			m.Set(i, j, a*u[j]+b*v[j])
+		}
+	}
+	return m
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	m := planted(40, 12, 3)
+	_, eig := m.PrincipalCoordinates(4, 0)
+	for i := 1; i < len(eig); i++ {
+		if eig[i] > eig[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not descending: %v", eig)
+		}
+	}
+	if len(eig) < 2 {
+		t.Fatalf("expected >= 2 components, got %v", eig)
+	}
+	// Rank-2 data: third component (if present) is negligible.
+	if len(eig) > 2 && eig[2] > eig[0]*1e-6 {
+		t.Fatalf("rank-2 data produced a real third component: %v", eig)
+	}
+}
+
+func TestPCAPreservesPlanarDistances(t *testing.T) {
+	m := planted(25, 15, 5)
+	coords, _ := m.PrincipalCoordinates(2, 0)
+	// Pairwise distances in the 2-D projection must match the original
+	// (the data is exactly rank 2 after centering).
+	for i := 0; i < m.Rows(); i++ {
+		for j := i + 1; j < m.Rows(); j++ {
+			var dOrig, dProj float64
+			for c := 0; c < m.Cols(); c++ {
+				d := m.At(i, c) - m.At(j, c)
+				dOrig += d * d
+			}
+			for c := 0; c < coords.Cols(); c++ {
+				d := coords.At(i, c) - coords.At(j, c)
+				dProj += d * d
+			}
+			if math.Abs(math.Sqrt(dOrig)-math.Sqrt(dProj)) > 1e-6*math.Sqrt(dOrig)+1e-6 {
+				t.Fatalf("distance (%d,%d) distorted: %v vs %v", i, j, math.Sqrt(dOrig), math.Sqrt(dProj))
+			}
+		}
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	m := planted(20, 8, 7)
+	a, ea := m.PrincipalCoordinates(2, 0)
+	b, eb := m.PrincipalCoordinates(2, 0)
+	if !a.Equal(b, 0) {
+		t.Fatal("PCA not deterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("eigenvalues not deterministic")
+		}
+	}
+}
+
+func TestPCAEdgeCases(t *testing.T) {
+	m := NewDense(0, 5)
+	coords, eig := m.PrincipalCoordinates(2, 0)
+	if coords.Rows() != 0 || len(eig) != 0 {
+		t.Fatal("empty matrix PCA wrong")
+	}
+	// k > n clamps.
+	m2 := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	coords2, _ := m2.PrincipalCoordinates(10, 0)
+	if coords2.Cols() > 3 {
+		t.Fatalf("k not clamped: %d", coords2.Cols())
+	}
+	// Constant data has no components.
+	m3 := FromRows([][]float64{{2, 2}, {2, 2}})
+	coords3, eig3 := m3.PrincipalCoordinates(2, 0)
+	if len(eig3) != 0 || coords3.Cols() != 0 {
+		t.Fatalf("constant data produced components: %v", eig3)
+	}
+}
+
+func TestPCASeparatesClusters(t *testing.T) {
+	// Two well-separated groups must be separated along PC1.
+	r := rng.New(11)
+	m := NewDense(20, 6)
+	for i := 0; i < 20; i++ {
+		offset := 0.0
+		if i >= 10 {
+			offset = 50
+		}
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, offset+r.NormFloat64())
+		}
+	}
+	coords, _ := m.PrincipalCoordinates(1, 0)
+	// Group means along PC1 must be far apart relative to spread.
+	var m1, m2 float64
+	for i := 0; i < 10; i++ {
+		m1 += coords.At(i, 0)
+		m2 += coords.At(i+10, 0)
+	}
+	m1 /= 10
+	m2 /= 10
+	if math.Abs(m1-m2) < 20 {
+		t.Fatalf("clusters not separated on PC1: %v vs %v", m1, m2)
+	}
+}

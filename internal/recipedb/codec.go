@@ -1,0 +1,139 @@
+package recipedb
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV layout: one recipe per row with multi-valued fields joined by '|'.
+var csvHeader = []string{"id", "name", "region", "ingredients", "processes", "utensils"}
+
+const listSep = "|"
+
+// WriteCSV serializes the DB as CSV with a header row.
+func WriteCSV(w io.Writer, db *DB) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("recipedb: writing header: %w", err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		r := db.Recipe(i)
+		row := []string{
+			r.ID, r.Name, r.Region,
+			strings.Join(r.Ingredients, listSep),
+			strings.Join(r.Processes, listSep),
+			strings.Join(r.Utensils, listSep),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("recipedb: writing recipe %s: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a DB from CSV produced by WriteCSV.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("recipedb: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if !strings.EqualFold(header[i], h) {
+			return nil, fmt.Errorf("recipedb: bad CSV header: column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var recipes []Recipe
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+		recipes = append(recipes, Recipe{
+			ID:          row[0],
+			Name:        row[1],
+			Region:      row[2],
+			Ingredients: splitList(row[3]),
+			Processes:   splitList(row[4]),
+			Utensils:    splitList(row[5]),
+		})
+	}
+	return New(recipes)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, listSep)
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// jsonRecipe is the JSONL wire form.
+type jsonRecipe struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"name"`
+	Region      string   `json:"region"`
+	Ingredients []string `json:"ingredients"`
+	Processes   []string `json:"processes,omitempty"`
+	Utensils    []string `json:"utensils,omitempty"`
+}
+
+// WriteJSONL serializes the DB as JSON Lines (one recipe object per line).
+func WriteJSONL(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < db.Len(); i++ {
+		r := db.Recipe(i)
+		jr := jsonRecipe{r.ID, r.Name, r.Region, r.Ingredients, r.Processes, r.Utensils}
+		if err := enc.Encode(&jr); err != nil {
+			return fmt.Errorf("recipedb: encoding recipe %s: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a DB from JSON Lines. Blank lines are skipped.
+func ReadJSONL(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recipes []Recipe
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var jr jsonRecipe
+		if err := json.Unmarshal([]byte(text), &jr); err != nil {
+			return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+		}
+		recipes = append(recipes, Recipe{
+			ID: jr.ID, Name: jr.Name, Region: jr.Region,
+			Ingredients: jr.Ingredients, Processes: jr.Processes, Utensils: jr.Utensils,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("recipedb: scanning: %w", err)
+	}
+	return New(recipes)
+}

@@ -1,0 +1,92 @@
+package recipedb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cuisines/internal/itemset"
+)
+
+// Stats summarizes a DB in the terms of Sec. III of the paper.
+type Stats struct {
+	Recipes           int
+	Regions           int
+	UniqueIngredients int
+	UniqueProcesses   int
+	UniqueUtensils    int
+	// Mean items per recipe, by kind (paper: ~10 ingredients, ~12
+	// processes, ~3 utensils).
+	MeanIngredients float64
+	MeanProcesses   float64
+	MeanUtensils    float64
+	// RecipesWithoutUtensils counts the utensil-sparse recipes (paper:
+	// 14,601).
+	RecipesWithoutUtensils int
+	// PerRegion holds recipe counts by region, sorted by region name.
+	PerRegion []RegionCount
+}
+
+// RegionCount pairs a region with its recipe count.
+type RegionCount struct {
+	Region  string
+	Recipes int
+}
+
+// ComputeStats scans the DB once and returns its Sec. III summary.
+func ComputeStats(db *DB) Stats {
+	st := Stats{Recipes: db.Len(), Regions: db.NumRegions()}
+	ing := make(map[string]bool)
+	proc := make(map[string]bool)
+	ute := make(map[string]bool)
+	var sumI, sumP, sumU int
+	for i := 0; i < db.Len(); i++ {
+		r := db.Recipe(i)
+		// Unique names are counted canonically, matching how mining sees
+		// them.
+		for _, n := range r.Ingredients {
+			ing[itemset.CanonicalName(n)] = true
+		}
+		for _, n := range r.Processes {
+			proc[itemset.CanonicalName(n)] = true
+		}
+		for _, n := range r.Utensils {
+			ute[itemset.CanonicalName(n)] = true
+		}
+		sumI += len(r.Ingredients)
+		sumP += len(r.Processes)
+		sumU += len(r.Utensils)
+		if len(r.Utensils) == 0 {
+			st.RecipesWithoutUtensils++
+		}
+	}
+	st.UniqueIngredients = len(ing)
+	st.UniqueProcesses = len(proc)
+	st.UniqueUtensils = len(ute)
+	if db.Len() > 0 {
+		n := float64(db.Len())
+		st.MeanIngredients = float64(sumI) / n
+		st.MeanProcesses = float64(sumP) / n
+		st.MeanUtensils = float64(sumU) / n
+	}
+	for _, region := range db.Regions() {
+		st.PerRegion = append(st.PerRegion, RegionCount{region, db.RegionSize(region)})
+	}
+	sort.Slice(st.PerRegion, func(i, j int) bool { return st.PerRegion[i].Region < st.PerRegion[j].Region })
+	return st
+}
+
+// String renders a human-readable report in the shape of Sec. III.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recipes: %d across %d regions\n", st.Recipes, st.Regions)
+	fmt.Fprintf(&b, "unique items: %d ingredients, %d processes, %d utensils\n",
+		st.UniqueIngredients, st.UniqueProcesses, st.UniqueUtensils)
+	fmt.Fprintf(&b, "mean per recipe: %.1f ingredients, %.1f processes, %.1f utensils\n",
+		st.MeanIngredients, st.MeanProcesses, st.MeanUtensils)
+	fmt.Fprintf(&b, "recipes without utensil data: %d\n", st.RecipesWithoutUtensils)
+	for _, rc := range st.PerRegion {
+		fmt.Fprintf(&b, "  %-24s %6d\n", rc.Region, rc.Recipes)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package rng
+
+import "math"
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. It is used to draw long-tail ingredients so that the
+// synthetic corpus shows the heavy-tailed item frequency distribution real
+// recipe corpora have (a handful of staples, thousands of rare items).
+//
+// Sampling is by inverse-CDF binary search over the precomputed cumulative
+// weights: O(log n) per draw, exact for any s > 0 (including s <= 1 where
+// rejection-based samplers for the infinite Zipf do not apply).
+type Zipf struct {
+	cum []float64 // cumulative normalized weights, cum[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics if
+// n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("rng: NewZipf with negative exponent")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	inv := 1 / total
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one rank in [0, N).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}

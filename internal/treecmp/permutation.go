@@ -1,0 +1,88 @@
+package treecmp
+
+import (
+	"fmt"
+	"math"
+
+	"cuisines/internal/distance"
+	"cuisines/internal/rng"
+)
+
+// PermutationResult is the outcome of a label-permutation significance
+// test.
+type PermutationResult struct {
+	// Observed is the statistic on the unpermuted data.
+	Observed float64
+	// PValue is the one-sided probability that a random relabeling
+	// reaches the observed statistic or better, with the +1 correction
+	// ((r+1)/(n+1)).
+	PValue float64
+	// Iterations actually run.
+	Iterations int
+	// NullMean and NullStd summarize the permutation distribution.
+	NullMean, NullStd float64
+}
+
+// Statistic computes a similarity between two aligned condensed matrices
+// (higher = more similar), e.g. CopheneticCorrelation or BakersGamma.
+type Statistic func(a, b *distance.Condensed) (float64, error)
+
+// PermutationTest estimates the significance of the similarity between
+// two condensed matrices over the same observations (typically two
+// cophenetic matrices, or one cophenetic matrix and raw distances): the
+// labels of the first matrix are permuted iters times and the statistic
+// recomputed, giving the null distribution of "a random tree over the
+// same heights".
+//
+// The paper validates its cuisine trees against geography by eye; this
+// test answers, quantitatively, whether a tree's geography fit could be
+// luck.
+func PermutationTest(a, b *distance.Condensed, stat Statistic, iters int, seed uint64) (*PermutationResult, error) {
+	if a.N() != b.N() {
+		return nil, fmt.Errorf("treecmp: size mismatch %d vs %d", a.N(), b.N())
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	observed, err := stat(a, b)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	n := a.N()
+	perm := distance.NewCondensed(n)
+	geq := 0
+	var sum, sumsq float64
+	for it := 0; it < iters; it++ {
+		p := r.Perm(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				perm.Set(i, j, a.At(p[i], p[j]))
+			}
+		}
+		s, err := stat(perm, b)
+		if err != nil {
+			// Degenerate permutations (constant vectors) cannot occur for
+			// matrices with at least two distinct values; surface anything
+			// else.
+			return nil, fmt.Errorf("treecmp: permutation %d: %w", it, err)
+		}
+		if s >= observed {
+			geq++
+		}
+		sum += s
+		sumsq += s * s
+	}
+	mean := sum / float64(iters)
+	variance := sumsq/float64(iters) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return &PermutationResult{
+		Observed:   observed,
+		PValue:     float64(geq+1) / float64(iters+1),
+		Iterations: iters,
+		NullMean:   mean,
+		NullStd:    math.Sqrt(variance),
+	}, nil
+}

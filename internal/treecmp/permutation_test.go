@@ -1,0 +1,101 @@
+package treecmp
+
+import (
+	"testing"
+
+	"cuisines/internal/distance"
+	"cuisines/internal/hac"
+	"cuisines/internal/matrix"
+	"cuisines/internal/rng"
+)
+
+func clusteredTree(t *testing.T, r *rng.RNG, centers [][2]float64, perCenter int) *hac.Tree {
+	t.Helper()
+	n := len(centers) * perCenter
+	m := matrix.NewDense(n, 2)
+	for c, center := range centers {
+		for i := 0; i < perCenter; i++ {
+			m.Set(c*perCenter+i, 0, center[0]+r.NormFloat64()*0.3)
+			m.Set(c*perCenter+i, 1, center[1]+r.NormFloat64()*0.3)
+		}
+	}
+	lk, err := hac.Cluster(distance.Pdist(m, distance.Euclidean), hac.Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hac.BuildTree(lk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPermutationTestDetectsRealStructure(t *testing.T) {
+	// Two trees built from noisy copies of the same clustered points
+	// must fit each other far better than chance.
+	r := rng.New(51)
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	a := clusteredTree(t, r, centers, 4)
+	b := clusteredTree(t, r, centers, 4)
+	res, err := PermutationTest(a.Cophenetic(), b.Cophenetic(), BakersGamma, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed < 0.8 {
+		t.Fatalf("observed gamma = %v for same structure", res.Observed)
+	}
+	if res.PValue > 0.01 {
+		t.Fatalf("p-value = %v for strongly matched trees", res.PValue)
+	}
+	if res.NullMean > 0.4 {
+		t.Fatalf("null mean %v suspiciously high", res.NullMean)
+	}
+}
+
+func TestPermutationTestNullOnUnrelated(t *testing.T) {
+	// Trees over independent random points: observed fit should sit
+	// within the null distribution (p not extreme).
+	r := rng.New(53)
+	mk := func() *hac.Tree {
+		n := 14
+		m := matrix.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			m.Set(i, 0, r.NormFloat64()*10)
+			m.Set(i, 1, r.NormFloat64()*10)
+		}
+		lk, _ := hac.Cluster(distance.Pdist(m, distance.Euclidean), hac.Average)
+		tree, _ := hac.BuildTree(lk, nil)
+		return tree
+	}
+	a, b := mk(), mk()
+	res, err := PermutationTest(a.Cophenetic(), b.Cophenetic(), BakersGamma, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Fatalf("unrelated trees got p = %v (observed %v, null mean %v)",
+			res.PValue, res.Observed, res.NullMean)
+	}
+}
+
+func TestPermutationTestValidation(t *testing.T) {
+	a := distance.NewCondensed(3)
+	b := distance.NewCondensed(4)
+	if _, err := PermutationTest(a, b, BakersGamma, 10, 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPermutationTestDeterministic(t *testing.T) {
+	r := rng.New(55)
+	a := clusteredTree(t, r, [][2]float64{{0, 0}, {8, 8}}, 4)
+	b := clusteredTree(t, r, [][2]float64{{0, 0}, {8, 8}}, 4)
+	r1, err := PermutationTest(a.Cophenetic(), b.Cophenetic(), CopheneticCorrelation, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := PermutationTest(a.Cophenetic(), b.Cophenetic(), CopheneticCorrelation, 200, 42)
+	if r1.PValue != r2.PValue || r1.NullMean != r2.NullMean {
+		t.Fatal("same seed produced different results")
+	}
+}

@@ -1,0 +1,192 @@
+package cuisines
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MapPoint is one cuisine's position on the 2-D cuisine map (principal
+// coordinates of the authenticity features).
+type MapPoint struct {
+	Region string
+	X, Y   float64
+}
+
+// CuisineMap projects the 26 cuisines onto their top two principal
+// components of the ingredient authenticity matrix — a flat "map of the
+// world's cuisines" where distance approximates culinary difference.
+// The returned variance fractions say how much structure the two axes
+// capture.
+func (a *Analysis) CuisineMap() (points []MapPoint, varianceExplained [2]float64, err error) {
+	x := a.figures.AuthMat.FeatureMatrix()
+	coords, eig := x.PrincipalCoordinates(2, 0)
+	if coords.Cols() < 2 {
+		return nil, varianceExplained, fmt.Errorf("cuisines: authenticity features have rank < 2")
+	}
+	total := 0.0
+	for _, v := range x.ColVariances() {
+		total += v
+	}
+	if total > 0 {
+		varianceExplained[0] = eig[0] / total
+		varianceExplained[1] = eig[1] / total
+	}
+	regions := a.figures.AuthMat.Regions
+	points = make([]MapPoint, len(regions))
+	for i, r := range regions {
+		points[i] = MapPoint{Region: r, X: coords.At(i, 0), Y: coords.At(i, 1)}
+	}
+	return points, varianceExplained, nil
+}
+
+// RenderCuisineMap draws the cuisine map as an ASCII scatter plot with
+// abbreviated labels and a legend.
+func (a *Analysis) RenderCuisineMap(width, height int) (string, error) {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 22
+	}
+	points, variance, err := a.CuisineMap()
+	if err != nil {
+		return "", err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	regions := make([]string, len(points))
+	for i, p := range points {
+		regions[i] = p.Region
+	}
+	abbrevs := abbreviations(regions)
+	for _, p := range points {
+		ab := abbrevs[p.Region]
+		col := int((p.X - minX) / spanX * float64(width-len(ab)-1))
+		row := int((maxY - p.Y) / spanY * float64(height-1))
+		for k := 0; k < len(ab); k++ {
+			if col+k < width && grid[row][col+k] == ' ' {
+				grid[row][col+k] = ab[k]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cuisine map (PC1 %.0f%%, PC2 %.0f%% of authenticity variance)\n",
+		variance[0]*100, variance[1]*100)
+	border := "+" + strings.Repeat("-", width) + "+\n"
+	b.WriteString(border)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	b.WriteString("Legend: ")
+	for i, p := range points {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", abbrevs[p.Region], p.Region)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// abbreviate builds a short label from a region name ("Chinese and
+// Mongolian" -> "CM", "UK" -> "UK"). level widens the label when the
+// short form collides with another region's.
+func abbreviate(region string, level int) string {
+	words := contentWords(region)
+	switch {
+	case len(words) == 1:
+		w := words[0]
+		n := 2 + level
+		if len(w) <= n {
+			return strings.ToUpper(w)
+		}
+		return strings.ToUpper(w[:n])
+	case level == 0:
+		var b strings.Builder
+		for _, w := range words {
+			b.WriteByte(w[0])
+		}
+		return strings.ToUpper(b.String())
+	default:
+		// First letter of the first word plus a widening prefix of the
+		// last ("South American" -> "SAM", "Southeast Asian" -> "SAS").
+		last := words[len(words)-1]
+		n := 1 + level
+		if n > len(last) {
+			n = len(last)
+		}
+		return strings.ToUpper(words[0][:1] + last[:n])
+	}
+}
+
+func contentWords(region string) []string {
+	var out []string
+	for _, w := range strings.Fields(region) {
+		if w == "and" || w == "of" {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// abbreviations assigns each region a unique short label, widening
+// colliding labels until the set is collision-free.
+func abbreviations(regions []string) map[string]string {
+	out := make(map[string]string, len(regions))
+	level := make(map[string]int, len(regions))
+	for {
+		used := make(map[string][]string)
+		for _, r := range regions {
+			ab := abbreviate(r, level[r])
+			out[r] = ab
+			used[ab] = append(used[ab], r)
+		}
+		collision := false
+		for _, rs := range used {
+			if len(rs) > 1 {
+				collision = true
+				for _, r := range rs {
+					if level[r] < 6 {
+						level[r]++
+					}
+				}
+			}
+		}
+		if !collision {
+			return out
+		}
+		// Levels are bounded, so termination is guaranteed: at max level
+		// the labels include enough of the name to differ.
+		allMax := true
+		for _, r := range regions {
+			if level[r] < 6 {
+				allMax = false
+			}
+		}
+		if allMax {
+			return out
+		}
+	}
+}

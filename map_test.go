@@ -1,0 +1,72 @@
+package cuisines
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCuisineMap(t *testing.T) {
+	a := getAnalysis(t)
+	points, variance, err := a.CuisineMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 26 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if variance[0] <= 0 || variance[0] > 1 || variance[1] > variance[0] {
+		t.Fatalf("variance fractions = %v", variance)
+	}
+	// East Asian cuisines should land nearer each other than to the UK
+	// on the map.
+	pos := map[string][2]float64{}
+	for _, p := range points {
+		pos[p.Region] = [2]float64{p.X, p.Y}
+	}
+	d := func(a, b string) float64 {
+		dx := pos[a][0] - pos[b][0]
+		dy := pos[a][1] - pos[b][1]
+		return dx*dx + dy*dy
+	}
+	if d("Japanese", "Korean") >= d("Japanese", "UK") {
+		t.Fatalf("map geometry: JP-KR %.3f should be < JP-UK %.3f",
+			d("Japanese", "Korean"), d("Japanese", "UK"))
+	}
+}
+
+func TestRenderCuisineMap(t *testing.T) {
+	a := getAnalysis(t)
+	s, err := a.RenderCuisineMap(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Legend") || !strings.Contains(s, "Cuisine map") {
+		t.Fatalf("render:\n%s", s)
+	}
+	// All 26 regions in the legend.
+	if strings.Count(s, "=") < 26 {
+		t.Fatalf("legend incomplete:\n%s", s)
+	}
+}
+
+func TestAbbreviationsUnique(t *testing.T) {
+	regions := []string{
+		"UK", "US", "Japanese", "Chinese and Mongolian", "Spanish and Portuguese",
+		"Canadian", "Caribbean", "Central American", "Mexican", "Middle Eastern",
+		"South American", "Southeast Asian", "Scandinavian",
+	}
+	abs := abbreviations(regions)
+	seen := map[string]string{}
+	for r, ab := range abs {
+		if ab == "" {
+			t.Fatalf("empty abbreviation for %q", r)
+		}
+		if prev, dup := seen[ab]; dup {
+			t.Fatalf("abbreviation %q shared by %q and %q", ab, r, prev)
+		}
+		seen[ab] = r
+	}
+	if abs["UK"] != "UK" {
+		t.Fatalf("UK abbreviated as %q", abs["UK"])
+	}
+}

@@ -1,0 +1,97 @@
+package cuisines
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssociationRules(t *testing.T) {
+	a := getAnalysis(t)
+	rs, err := a.AssociationRules("Chinese and Mongolian", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules mined")
+	}
+	for i, r := range rs {
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			t.Fatalf("empty rule side: %+v", r)
+		}
+		if r.Confidence < 0.5-1e-12 || r.Confidence > 1 {
+			t.Fatalf("confidence out of range: %+v", r)
+		}
+		if r.Support <= 0 || r.Lift <= 0 {
+			t.Fatalf("degenerate measures: %+v", r)
+		}
+		if i > 0 && r.Confidence > rs[i-1].Confidence+1e-12 {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+	// The planted bundle {ginger, garlic, green onion} must yield rules
+	// among its members with high lift.
+	found := false
+	for _, r := range rs {
+		s := r.String()
+		if strings.Contains(s, "ginger") && strings.Contains(s, "garlic") && r.Lift > 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("expected a high-lift ginger/garlic rule")
+	}
+}
+
+func TestAssociationRulesMaxRules(t *testing.T) {
+	a := getAnalysis(t)
+	rs, err := a.AssociationRules("Thai", 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) > 5 {
+		t.Fatalf("cap ignored: %d rules", len(rs))
+	}
+}
+
+func TestAssociationRulesUnknownRegion(t *testing.T) {
+	a := getAnalysis(t)
+	if _, err := a.AssociationRules("Narnia", 0.5, 0); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestAssociationRuleString(t *testing.T) {
+	r := AssociationRule{
+		Antecedent: []string{"soy sauce", "add"},
+		Consequent: []string{"heat"},
+		Confidence: 0.92,
+		Lift:       2.1,
+	}
+	s := r.String()
+	if !strings.Contains(s, "soy sauce + add => heat") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestIngredientPairings(t *testing.T) {
+	a := getAnalysis(t)
+	rs, err := a.IngredientPairings("Indian Subcontinent", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no ingredient pairings")
+	}
+	// No process names may appear (spot-check the universal ones).
+	for _, r := range rs {
+		for _, side := range [][]string{r.Antecedent, r.Consequent} {
+			for _, item := range side {
+				switch item {
+				case "add", "heat", "cook", "stir", "mix", "bake", "preheat":
+					t.Fatalf("process %q in ingredient pairing %v", item, r)
+				}
+			}
+		}
+	}
+}

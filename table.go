@@ -1,0 +1,247 @@
+package cuisines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cuisines/internal/itemset"
+)
+
+// TableRow is one row of the Table I reproduction.
+type TableRow struct {
+	Region  string
+	Recipes int
+	// Top holds the headline patterns (most significant first), rendered
+	// in the paper's "a + b" notation.
+	Top []HeadlinePattern
+	// Patterns is the number of frequent itemsets mined at the support
+	// threshold.
+	Patterns int
+}
+
+// HeadlinePattern is a significant pattern with its support.
+type HeadlinePattern struct {
+	Pattern string
+	Support float64
+	Score   float64
+}
+
+// Table returns the Table I reproduction, one row per cuisine.
+func (a *Analysis) Table() []TableRow {
+	rows := make([]TableRow, 0, len(a.figures.Table1.Rows))
+	for _, r := range a.figures.Table1.Rows {
+		row := TableRow{Region: r.Region, Recipes: r.Recipes, Patterns: r.Patterns}
+		for _, sp := range r.Top {
+			row.Top = append(row.Top, HeadlinePattern{
+				Pattern: sp.Pattern.Items.String(),
+				Support: sp.Pattern.Support,
+				Score:   sp.Score,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable renders the Table I reproduction as aligned text.
+func (a *Analysis) RenderTable() string { return a.figures.Table1.String() }
+
+// PatternInfo is one mined frequent itemset of a cuisine.
+type PatternInfo struct {
+	// Items holds the item names in canonical order.
+	Items []string
+	// Kinds holds each item's kind name ("ingredient", "process",
+	// "utensil"), aligned with Items.
+	Kinds   []string
+	Support float64
+	Count   int
+}
+
+// CuisinePatterns returns every frequent pattern mined for the region, in
+// canonical report order (descending support).
+func (a *Analysis) CuisinePatterns(region string) ([]PatternInfo, error) {
+	for _, rp := range a.figures.Mined {
+		if rp.Region != region {
+			continue
+		}
+		out := make([]PatternInfo, 0, len(rp.Patterns))
+		for _, p := range rp.Patterns {
+			pi := PatternInfo{Support: p.Support, Count: p.Count}
+			for _, it := range p.Items.Items() {
+				pi.Items = append(pi.Items, it.Name)
+				pi.Kinds = append(pi.Kinds, it.Kind.String())
+			}
+			out = append(out, pi)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("cuisines: unknown region %q", region)
+}
+
+// FingerprintEntry is one item of a cuisine's authenticity fingerprint.
+type FingerprintEntry struct {
+	Item string
+	// Relative is the relative prevalence p_i^c (eq. 2): positive for
+	// items over-represented in the cuisine, negative for items it
+	// conspicuously avoids.
+	Relative float64
+	// Prevalence is the raw within-cuisine prevalence P_i^c (eq. 1).
+	Prevalence float64
+}
+
+// Fingerprint holds both ends of a cuisine's culinary fingerprint.
+type Fingerprint struct {
+	Region string
+	// Most holds the most authentic (over-represented) ingredients.
+	Most []FingerprintEntry
+	// Least holds the least authentic (avoided) ingredients.
+	Least []FingerprintEntry
+}
+
+// Fingerprint returns the region's k most and least authentic
+// ingredients (Sec. V.B).
+func (a *Analysis) Fingerprint(region string, k int) (Fingerprint, error) {
+	most, err := a.figures.AuthMat.MostAuthentic(region, k)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	least, err := a.figures.AuthMat.LeastAuthentic(region, k)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	fp := Fingerprint{Region: region}
+	for _, e := range most {
+		fp.Most = append(fp.Most, FingerprintEntry{Item: e.Item.Name, Relative: e.Relative, Prevalence: e.Prevalence})
+	}
+	for _, e := range least {
+		fp.Least = append(fp.Least, FingerprintEntry{Item: e.Item.Name, Relative: e.Relative, Prevalence: e.Prevalence})
+	}
+	return fp, nil
+}
+
+// Substitutes suggests replacement candidates for an ingredient within a
+// cuisine by pattern-context similarity: two ingredients are
+// substitutable when the sets of items they are frequently combined with
+// overlap (the replacement idea of Shidochi et al. discussed in the
+// paper's Sec. II). Candidates are ranked by Jaccard similarity of
+// co-occurrence neighborhoods.
+func (a *Analysis) Substitutes(region, ingredient string, k int) ([]Substitute, error) {
+	patterns, err := a.CuisinePatterns(region)
+	if err != nil {
+		return nil, err
+	}
+	target := itemset.CanonicalName(ingredient)
+	// Build co-occurrence neighborhoods from multi-item patterns.
+	neighborhoods := make(map[string]map[string]bool)
+	for _, p := range patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		for i, it := range p.Items {
+			if p.Kinds[i] != "ingredient" {
+				continue
+			}
+			nb := neighborhoods[it]
+			if nb == nil {
+				nb = make(map[string]bool)
+				neighborhoods[it] = nb
+			}
+			for j, other := range p.Items {
+				if i != j {
+					nb[other] = true
+				}
+			}
+		}
+	}
+	targetNb, ok := neighborhoods[target]
+	if !ok {
+		return nil, fmt.Errorf("cuisines: %q has no frequent combinations in %s", ingredient, region)
+	}
+	var out []Substitute
+	for it, nb := range neighborhoods {
+		if it == target {
+			continue
+		}
+		inter, union := 0, len(targetNb)
+		for o := range nb {
+			if targetNb[o] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if inter == 0 {
+			continue
+		}
+		out = append(out, Substitute{Ingredient: it, Similarity: float64(inter) / float64(union)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].Ingredient < out[j].Ingredient
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Substitute is one replacement candidate.
+type Substitute struct {
+	Ingredient string
+	// Similarity is the Jaccard overlap of co-occurrence neighborhoods in
+	// [0, 1].
+	Similarity float64
+}
+
+// ClaimResult is one verified Sec. VII claim.
+type ClaimResult struct {
+	Name   string
+	Tree   string
+	Detail string
+	Holds  bool
+}
+
+// Claims returns the Sec. VII claim checks.
+func (a *Analysis) Claims() []ClaimResult {
+	out := make([]ClaimResult, 0, len(a.validation.Claims))
+	for _, c := range a.validation.Claims {
+		out = append(out, ClaimResult{Name: c.Name, Tree: c.Tree, Detail: c.Detail, Holds: c.Holds})
+	}
+	return out
+}
+
+// GeographyFit is one tree's quantified similarity to the geographic
+// tree.
+type GeographyFit struct {
+	Tree           string
+	Cophenetic     float64
+	BakersGamma    float64
+	RobinsonFoulds float64
+}
+
+// GeographyFits returns every cuisine tree's similarity to geography.
+func (a *Analysis) GeographyFits() []GeographyFit {
+	out := make([]GeographyFit, 0, len(a.validation.TreeFit))
+	for _, f := range a.validation.TreeFit {
+		out = append(out, GeographyFit{
+			Tree:           f.Name,
+			Cophenetic:     f.Report.Cophenetic,
+			BakersGamma:    f.Report.BakersGamma,
+			RobinsonFoulds: f.Report.RobinsonFoulds,
+		})
+	}
+	return out
+}
+
+// RenderValidation renders the full Sec. VII report.
+func (a *Analysis) RenderValidation() string {
+	var b strings.Builder
+	_ = a.validation.Render(&b)
+	return b.String()
+}
+
+// AllClaimsHold reports whether every Sec. VII claim was reproduced.
+func (a *Analysis) AllClaimsHold() bool { return a.validation.AllClaimsHold() }
