@@ -24,6 +24,8 @@ package cuisines
 // numbers produced by the cmd tools.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -38,7 +40,9 @@ import (
 	"cuisines/internal/fpgrowth"
 	"cuisines/internal/hac"
 	"cuisines/internal/itemset"
+	"cuisines/internal/matrix"
 	"cuisines/internal/recipedb"
+	"cuisines/internal/rng"
 	"cuisines/internal/treecmp"
 )
 
@@ -223,6 +227,96 @@ func BenchmarkSec7TreeValidation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(holds), "claims-holding")
+}
+
+// benchWorkerCounts is the worker sweep for the parallel-layer benches:
+// the sequential baseline, the ISSUE's 4-worker target, and every core.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// P1 — parallel pdist: condensed distances over a corpus-shaped dense
+// matrix (hundreds of observations, thousands of features) per worker
+// count. The workers=1 case is the sequential baseline the speedup
+// criterion is measured against.
+func BenchmarkPdistParallel(b *testing.B) {
+	r := rng.New(42)
+	m := matrix.NewDense(256, 2048)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				d := distance.PdistWorkers(m, distance.Euclidean, w)
+				sink = d.Values()[0]
+			}
+			b.ReportMetric(sink, "d0")
+		})
+	}
+}
+
+// P2 — parallel per-cuisine mining: the 26 FP-Growth runs behind Table I
+// per worker count, on the shared bench-scale corpus.
+func BenchmarkMineRegionsParallel(b *testing.B) {
+	f := getFixture(b)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var patterns int
+			for i := 0; i < b.N; i++ {
+				mined, err := core.MineRegionsWorkers(f.db, core.DefaultMinSupport, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patterns = 0
+				for _, rp := range mined {
+					patterns += len(rp.Patterns)
+				}
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+		})
+	}
+}
+
+// P3 — parallel corpus generation: the per-region fan-out of Sec. III
+// generation per worker count.
+func BenchmarkCorpusGenerationParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var recipes int
+			for i := 0; i < b.N; i++ {
+				db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: benchScale, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recipes = db.Len()
+			}
+			b.ReportMetric(float64(recipes), "recipes")
+		})
+	}
+}
+
+// P4 — the whole figure pipeline per worker count (the end-to-end number
+// the facade's Options.Workers controls).
+func BenchmarkBuildFiguresParallel(b *testing.B) {
+	f := getFixture(b)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildFiguresWorkers(f.db, core.DefaultMinSupport, core.DefaultLinkage, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // A1 — miner ablation: the three miners on the same region at several

@@ -36,6 +36,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "corpus scale")
 		seed     = flag.Uint64("seed", corpus.DefaultSeed, "corpus generator seed")
 		newick   = flag.Bool("newick", false, "also print the Newick serialization")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		}
 	}
 
-	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 	var tree *core.CuisineTree
 	switch *features {
 	case "patterns":
-		mined, err := core.MineRegions(db, *support)
+		mined, err := core.MineRegionsWorkers(db, *support, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tree, err = core.PatternTree(pm, m, method)
+		tree, err = core.PatternTreeWorkers(pm, m, method, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tree, err = core.AuthenticityTree(am, m, method)
+		tree, err = core.AuthenticityTreeWorkers(am, m, method, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

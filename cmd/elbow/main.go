@@ -26,14 +26,15 @@ func main() {
 		support = flag.Float64("support", core.DefaultMinSupport, "pattern-mining support threshold")
 		scale   = flag.Float64("scale", 1.0, "corpus scale")
 		seed    = flag.Uint64("seed", corpus.DefaultSeed, "corpus generator seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
-	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mined, err := core.MineRegions(db, *support)
+	mined, err := core.MineRegionsWorkers(db, *support, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	curve, err := core.ElbowAnalysis(pm, *kmax, 1)
+	curve, err := core.ElbowAnalysisWorkers(pm, *kmax, 1, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

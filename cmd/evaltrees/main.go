@@ -32,6 +32,7 @@ func main() {
 		pvalues   = flag.Bool("pvalues", false, "additionally run permutation significance tests of each tree's geography fit")
 		kinds     = flag.Bool("kinds", false, "additionally analyze per-kind (ingredient/process/utensil) influence on the cuisine tree")
 		pairing   = flag.Bool("pairing", false, "additionally compute the flavor-compound food-pairing statistic per cuisine")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -39,11 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	figs, err := core.BuildFigures(db, *support, method)
+	figs, err := core.BuildFiguresWorkers(db, *support, method, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,14 +30,15 @@ func main() {
 		seed    = flag.Uint64("seed", corpus.DefaultSeed, "corpus generator seed")
 		topK    = flag.Int("top", 3, "headline patterns per cuisine")
 		paper   = flag.Bool("paper", false, "append the paper's Table I values for comparison")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
-	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	db, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	t, err := core.BuildTable1(db, *support, *topK)
+	t, err := core.BuildTable1Workers(db, *support, *topK, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

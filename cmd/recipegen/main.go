@@ -32,10 +32,11 @@ func main() {
 		out     = flag.String("o", "-", "output file ('-' for stdout)")
 		stats   = flag.Bool("stats", false, "print Sec. III corpus statistics instead of exporting")
 		regions = flag.String("regions", "", "comma-separated region subset (default: all 26)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
-	cfg := corpus.Config{Seed: *seed, Scale: *scale}
+	cfg := corpus.Config{Seed: *seed, Scale: *scale, Workers: *workers}
 	if *regions != "" {
 		for _, r := range strings.Split(*regions, ",") {
 			cfg.Regions = append(cfg.Regions, strings.TrimSpace(r))

@@ -50,6 +50,14 @@ type Options struct {
 	// (default), "weighted" or "ward". The Euclidean pattern tree always
 	// uses Ward (see internal/core.EuclideanLinkage).
 	Linkage string
+	// Workers bounds the worker pool every parallel stage draws from:
+	// per-region corpus generation, the per-cuisine FP-Growth runs, the
+	// pdist row fan-outs, the Fig. 1 elbow sweep and the concurrent
+	// construction of the five dendrograms. 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 forces the fully sequential path. Every
+	// result is byte-identical for any value — parallelism only changes
+	// how fast the answer arrives, never the answer (see DESIGN.md §3).
+	Workers int
 }
 
 // Figure selects one of the paper's dendrograms.
@@ -113,11 +121,11 @@ func Run(opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
+	db, err := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
-	return analyze(db, opts.MinSupport, method)
+	return analyze(db, opts.MinSupport, method, opts.Workers)
 }
 
 // RunFromCSV runs the pipeline on recipes read from CSV (the format
@@ -152,12 +160,12 @@ func runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analyze(db, opts.MinSupport, method)
+	return analyze(db, opts.MinSupport, method, opts.Workers)
 }
 
 // analyze runs the pipeline on an existing database.
-func analyze(db *recipedb.DB, minSupport float64, method hac.Method) (*Analysis, error) {
-	figs, err := core.BuildFigures(db, minSupport, method)
+func analyze(db *recipedb.DB, minSupport float64, method hac.Method, workers int) (*Analysis, error) {
+	figs, err := core.BuildFiguresWorkers(db, minSupport, method, workers)
 	if err != nil {
 		return nil, err
 	}

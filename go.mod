@@ -1,0 +1,3 @@
+module cuisines
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"cuisines/internal/hac"
 	"cuisines/internal/itemset"
 	"cuisines/internal/kmeans"
+	"cuisines/internal/parallel"
 	"cuisines/internal/recipedb"
 )
 
@@ -40,12 +41,19 @@ type CuisineTree struct {
 }
 
 // PatternTree builds one of the Figs. 2-4 dendrograms: binary pattern
-// feature matrix -> pdist(metric) -> linkage.
+// feature matrix -> pdist(metric) -> linkage. The pdist stage uses every
+// available core; see PatternTreeWorkers for the knob.
 func PatternTree(pm *encode.PatternMatrix, metric distance.Metric, method hac.Method) (*CuisineTree, error) {
+	return PatternTreeWorkers(pm, metric, method, 0)
+}
+
+// PatternTreeWorkers is PatternTree with an explicit worker count for the
+// pdist stage (<= 0 means GOMAXPROCS, 1 forces the sequential path).
+func PatternTreeWorkers(pm *encode.PatternMatrix, metric distance.Metric, method hac.Method, workers int) (*CuisineTree, error) {
 	if pm.X.Rows() < 2 {
 		return nil, fmt.Errorf("core: need at least two cuisines, have %d", pm.X.Rows())
 	}
-	d := distance.Pdist(pm.X, metric)
+	d := distance.PdistWorkers(pm.X, metric, workers)
 	lk, err := hac.Cluster(d, method)
 	if err != nil {
 		return nil, err
@@ -64,13 +72,21 @@ func PatternTree(pm *encode.PatternMatrix, metric distance.Metric, method hac.Me
 }
 
 // AuthenticityTree builds the Fig. 5 dendrogram from the ingredient
-// relative-prevalence matrix.
+// relative-prevalence matrix. The pdist stage uses every available core;
+// see AuthenticityTreeWorkers for the knob.
 func AuthenticityTree(am *authenticity.Matrix, metric distance.Metric, method hac.Method) (*CuisineTree, error) {
+	return AuthenticityTreeWorkers(am, metric, method, 0)
+}
+
+// AuthenticityTreeWorkers is AuthenticityTree with an explicit worker
+// count for the pdist stage (<= 0 means GOMAXPROCS, 1 forces the
+// sequential path).
+func AuthenticityTreeWorkers(am *authenticity.Matrix, metric distance.Metric, method hac.Method, workers int) (*CuisineTree, error) {
 	x := am.FeatureMatrix()
 	if x.Rows() < 2 {
 		return nil, fmt.Errorf("core: need at least two cuisines, have %d", x.Rows())
 	}
-	d := distance.Pdist(x, metric)
+	d := distance.PdistWorkers(x, metric, workers)
 	lk, err := hac.Cluster(d, method)
 	if err != nil {
 		return nil, err
@@ -113,11 +129,18 @@ func GeographicTree(regions []string, method hac.Method) (*CuisineTree, error) {
 }
 
 // ElbowAnalysis runs the Fig. 1 experiment on the pattern feature matrix.
+// The k sweep uses every available core; see ElbowAnalysisWorkers.
 func ElbowAnalysis(pm *encode.PatternMatrix, kMax int, seed uint64) (*kmeans.ElbowCurve, error) {
+	return ElbowAnalysisWorkers(pm, kMax, seed, 0)
+}
+
+// ElbowAnalysisWorkers is ElbowAnalysis with an explicit worker count for
+// the k sweep (<= 0 means GOMAXPROCS, 1 forces the sequential path).
+func ElbowAnalysisWorkers(pm *encode.PatternMatrix, kMax int, seed uint64, workers int) (*kmeans.ElbowCurve, error) {
 	if kMax <= 0 {
 		kMax = 15
 	}
-	return kmeans.Elbow(pm.X, kMax, kmeans.Options{Seed: seed})
+	return kmeans.Elbow(pm.X, kMax, kmeans.Options{Seed: seed, Workers: workers})
 }
 
 // Figures is the complete artifact set of the paper's evaluation.
@@ -161,12 +184,29 @@ func AnchoredPatterns(sets [][]itemset.Pattern) [][]itemset.Pattern {
 
 // BuildFigures runs the whole evaluation pipeline on a database. method
 // is the linkage for the cosine/Jaccard/authenticity/geographic trees
-// (the Euclidean pattern tree always uses EuclideanLinkage).
+// (the Euclidean pattern tree always uses EuclideanLinkage). Every stage
+// uses all available cores; see BuildFiguresWorkers for the knob.
 func BuildFigures(db *recipedb.DB, minSupport float64, method hac.Method) (*Figures, error) {
+	return BuildFiguresWorkers(db, minSupport, method, 0)
+}
+
+// BuildFiguresWorkers is BuildFigures with an explicit worker count
+// (<= 0 means GOMAXPROCS, 1 forces the fully sequential path). The
+// pipeline parallelizes at two grains: the per-cuisine FP-Growth runs
+// fan out first over the full budget, then the six independent figure
+// builds (the Fig. 1 elbow sweep, the three pattern trees, the
+// authenticity matrix + tree, and the geographic tree) run concurrently,
+// with the budget split between the outer fan-out and each figure's
+// inner pdist / k-sweep so the total concurrency stays bounded by
+// workers rather than multiplying across the nesting. Each figure lands
+// in its own slot and depends only on the immutable inputs, so the
+// artifact set is identical to the sequential build for any worker
+// count.
+func BuildFiguresWorkers(db *recipedb.DB, minSupport float64, method hac.Method, workers int) (*Figures, error) {
 	if minSupport <= 0 {
 		minSupport = DefaultMinSupport
 	}
-	mined, err := MineRegions(db, minSupport)
+	mined, err := MineRegionsWorkers(db, minSupport, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -186,44 +226,51 @@ func BuildFigures(db *recipedb.DB, minSupport float64, method hac.Method) (*Figu
 	if err != nil {
 		return nil, err
 	}
-	elbow, err := ElbowAnalysis(pm, 15, 1)
+	// Split the resolved budget between the six-way outer fan-out and the
+	// inner fan-outs so outer*inner never exceeds it: a knob of 4 runs
+	// four figures concurrently with sequential interiors, a knob of 16
+	// runs all six with two workers each. The split depends only on the
+	// worker count, never on scheduling.
+	w := parallel.Count(workers)
+	outer := w
+	if outer > 6 {
+		outer = 6
+	}
+	inner := w / outer
+	figs := &Figures{Table1: t1, Patterns: pm, Mined: mined}
+	err = parallel.Do(outer,
+		func() (err error) {
+			figs.Elbow, err = ElbowAnalysisWorkers(pm, 15, 1, inner)
+			return err
+		},
+		func() (err error) {
+			figs.Euclidean, err = PatternTreeWorkers(pm, distance.Euclidean, EuclideanLinkage, inner)
+			return err
+		},
+		func() (err error) {
+			figs.Cosine, err = PatternTreeWorkers(pm, distance.Cosine, method, inner)
+			return err
+		},
+		func() (err error) {
+			figs.Jaccard, err = PatternTreeWorkers(pm, distance.Jaccard, method, inner)
+			return err
+		},
+		func() (err error) {
+			am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: 0.03})
+			if err != nil {
+				return err
+			}
+			figs.AuthMat = am
+			figs.Auth, err = AuthenticityTreeWorkers(am, distance.Euclidean, method, inner)
+			return err
+		},
+		func() (err error) {
+			figs.Geo, err = GeographicTree(db.Regions(), method)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	euc, err := PatternTree(pm, distance.Euclidean, EuclideanLinkage)
-	if err != nil {
-		return nil, err
-	}
-	cos, err := PatternTree(pm, distance.Cosine, method)
-	if err != nil {
-		return nil, err
-	}
-	jac, err := PatternTree(pm, distance.Jaccard, method)
-	if err != nil {
-		return nil, err
-	}
-	am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: 0.03})
-	if err != nil {
-		return nil, err
-	}
-	auth, err := AuthenticityTree(am, distance.Euclidean, method)
-	if err != nil {
-		return nil, err
-	}
-	geoTree, err := GeographicTree(db.Regions(), method)
-	if err != nil {
-		return nil, err
-	}
-	return &Figures{
-		Table1:    t1,
-		Elbow:     elbow,
-		Euclidean: euc,
-		Cosine:    cos,
-		Jaccard:   jac,
-		Auth:      auth,
-		Geo:       geoTree,
-		Patterns:  pm,
-		AuthMat:   am,
-		Mined:     mined,
-	}, nil
+	return figs, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"cuisines/internal/fpgrowth"
 	"cuisines/internal/itemset"
+	"cuisines/internal/parallel"
 	"cuisines/internal/recipedb"
 )
 
@@ -29,24 +30,34 @@ type RegionPatterns struct {
 // MineRegions runs FP-Growth per cuisine at the given support threshold,
 // exactly as Sec. V.A prescribes (ingredients, processes and utensils
 // concatenated; one run per region). Regions are returned in the DB's
-// sorted region order.
+// sorted region order. The per-region runs use every available core; see
+// MineRegionsWorkers for the knob.
 func MineRegions(db *recipedb.DB, minSupport float64) ([]RegionPatterns, error) {
+	return MineRegionsWorkers(db, minSupport, 0)
+}
+
+// MineRegionsWorkers is MineRegions with an explicit worker count (<= 0
+// means GOMAXPROCS, 1 forces the sequential path). The per-cuisine runs
+// are independent — each reads the immutable DB and returns its own
+// result slot, and FP-Growth itself emits patterns in canonical report
+// order — so the output is identical to the sequential path for any
+// worker count.
+func MineRegionsWorkers(db *recipedb.DB, minSupport float64, workers int) ([]RegionPatterns, error) {
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
 	if minSupport <= 0 || minSupport > 1 {
 		return nil, fmt.Errorf("core: min support %v out of (0, 1]", minSupport)
 	}
-	out := make([]RegionPatterns, 0, db.NumRegions())
-	for _, region := range db.Regions() {
-		ds := db.RegionDataset(region)
-		ps := fpgrowth.Mine(ds, minSupport)
-		out = append(out, RegionPatterns{
-			Region:   region,
+	regions := db.Regions()
+	out := parallel.Map(len(regions), workers, func(i int) RegionPatterns {
+		ds := db.RegionDataset(regions[i])
+		return RegionPatterns{
+			Region:   regions[i],
 			Recipes:  ds.Len(),
-			Patterns: ps,
-		})
-	}
+			Patterns: fpgrowth.Mine(ds, minSupport),
+		}
+	})
 	return out, nil
 }
 

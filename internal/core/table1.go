@@ -27,11 +27,19 @@ type Table1 struct {
 // BuildTable1 mines every region and ranks headline patterns, producing
 // the repository's reproduction of Table I. topK controls how many
 // headline patterns are kept per region (the paper prints one to four).
+// Mining uses every available core; see BuildTable1Workers for the knob.
 func BuildTable1(db *recipedb.DB, minSupport float64, topK int) (*Table1, error) {
+	return BuildTable1Workers(db, minSupport, topK, 0)
+}
+
+// BuildTable1Workers is BuildTable1 with an explicit worker count for the
+// per-cuisine mining fan-out (<= 0 means GOMAXPROCS, 1 forces the
+// sequential path).
+func BuildTable1Workers(db *recipedb.DB, minSupport float64, topK, workers int) (*Table1, error) {
 	if topK <= 0 {
 		topK = 3
 	}
-	rps, err := MineRegions(db, minSupport)
+	rps, err := MineRegionsWorkers(db, minSupport, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -418,6 +419,32 @@ func TestBundleItemsNotInBand(t *testing.T) {
 				if band[it.Name] && !allowed[p.Region+"/"+it.Name] {
 					t.Errorf("%s: item %q in both band and bundle", p.Region, it.Name)
 				}
+			}
+		}
+	}
+}
+
+// TestGenerateParallelEquivalence checks the parallel fan-out contract:
+// the corpus is byte-identical whatever the worker count, because each
+// region draws from its own seed-derived RNG stream and batches are
+// concatenated in canonical profile order.
+func TestGenerateParallelEquivalence(t *testing.T) {
+	seq, err := Generate(Config{Seed: DefaultSeed, Scale: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		par, err := Generate(Config{Seed: DefaultSeed, Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, pr := seq.Recipes(), par.Recipes()
+		if len(sr) != len(pr) {
+			t.Fatalf("workers=%d: %d recipes vs %d sequential", workers, len(pr), len(sr))
+		}
+		for i := range sr {
+			if !reflect.DeepEqual(sr[i], pr[i]) {
+				t.Fatalf("workers=%d: recipe %d differs:\nseq: %+v\npar: %+v", workers, i, sr[i], pr[i])
 			}
 		}
 	}

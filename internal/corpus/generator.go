@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"cuisines/internal/itemset"
+	"cuisines/internal/parallel"
 	"cuisines/internal/recipedb"
 	"cuisines/internal/rng"
 )
@@ -22,6 +23,12 @@ type Config struct {
 	// Regions optionally restricts generation to a subset of region
 	// names. Empty means all 26.
 	Regions []string
+	// Workers caps the number of regions generated concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. The corpus is
+	// byte-identical for any value: each region draws from its own RNG
+	// stream (seeded from Seed and the region name only) and the
+	// per-region batches are concatenated in canonical profile order.
+	Workers int
 }
 
 // DefaultSeed is the corpus seed used by every experiment in this
@@ -69,23 +76,38 @@ func Generate(cfg Config) (*recipedb.DB, error) {
 		return nil, err
 	}
 
-	var recipes []recipedb.Recipe
-	for _, p := range selected {
-		if err := p.Validate(); err != nil {
+	for i := range selected {
+		if err := selected[i].Validate(); err != nil {
 			return nil, err
 		}
+	}
+	// Fan out one job per region. Each region's recipes depend only on the
+	// seed and the region itself — the per-region generator is seeded
+	// independently of region subset, order, or worker count — so a
+	// region's batch is identical whether generated alone, sequentially,
+	// or concurrently, and concatenating the batches in profile order
+	// reproduces the sequential corpus byte for byte.
+	batches := parallel.Map(len(selected), cfg.Workers, func(idx int) []recipedb.Recipe {
+		p := selected[idx]
 		n := int(math.Round(float64(p.Recipes) * scale))
 		if n < 30 {
 			n = 30
 		}
-		// Per-region generator seeded independently of region subset or
-		// order, so a region's recipes are identical whether generated
-		// alone or as part of the full corpus.
 		r := rng.New(cfg.Seed ^ hashString(p.Region))
 		g := newRegionGen(&p, regionIndexOf(p.Region))
+		batch := make([]recipedb.Recipe, 0, n)
 		for i := 0; i < n; i++ {
-			recipes = append(recipes, g.recipe(r, i))
+			batch = append(batch, g.recipe(r, i))
 		}
+		return batch
+	})
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	recipes := make([]recipedb.Recipe, 0, total)
+	for _, b := range batches {
+		recipes = append(recipes, b...)
 	}
 	return recipedb.New(recipes)
 }

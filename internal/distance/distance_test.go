@@ -300,3 +300,52 @@ func TestPdistSymmetricPositiveProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestPdistWorkersEquivalence checks that the chunked parallel pdist is
+// byte-identical to the sequential one for every metric and worker count.
+func TestPdistWorkersEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := matrix.NewDense(37, 19)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			// Mix in zeros so the boolean metrics exercise their edge
+			// conventions too.
+			if r.Float64() < 0.3 {
+				continue
+			}
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	for _, metric := range []Metric{Euclidean, Cosine, Jaccard, Hamming, Manhattan, Correlation} {
+		seq := PdistWorkers(m, metric, 1)
+		for _, workers := range []int{2, 3, 8, 0} {
+			par := PdistWorkers(m, metric, workers)
+			if len(seq.Values()) != len(par.Values()) {
+				t.Fatalf("%v workers=%d: length mismatch", metric, workers)
+			}
+			for k, v := range seq.Values() {
+				if par.Values()[k] != v {
+					t.Fatalf("%v workers=%d: entry %d = %v, sequential %v", metric, workers, k, par.Values()[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestUnindexRoundTrip checks that unindex is the exact inverse of index
+// for every offset — the property the chunked pdist's cursor decoding
+// rests on.
+func TestUnindexRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 26, 37, 256} {
+		c := NewCondensed(n)
+		for k := 0; k < c.Len(); k++ {
+			i, j := c.unindex(k)
+			if i < 0 || i >= j || j >= n {
+				t.Fatalf("n=%d: unindex(%d) = (%d,%d) out of order", n, k, i, j)
+			}
+			if got := c.index(i, j); got != k {
+				t.Fatalf("n=%d: index(unindex(%d)) = %d", n, k, got)
+			}
+		}
+	}
+}

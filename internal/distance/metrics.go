@@ -113,10 +113,10 @@ func manhattan(x, y []float64) float64 {
 	return s
 }
 
-// cosine returns 1 - cos(x, y). By scipy convention an all-zero vector
-// yields distance 1 against anything (including another zero vector it is
-// 0 in recent scipy; we use 0 for two zero vectors, 1 if exactly one is
-// zero, which preserves identity d(x,x)=0).
+// cosine returns 1 - cos(x, y). The cosine of a zero vector is undefined,
+// so a convention is needed: two all-zero vectors are at distance 0
+// (preserving the identity d(x, x) = 0), and a zero vector against a
+// nonzero one is at distance 1 (no shared direction).
 func cosine(x, y []float64) float64 {
 	var dot, nx, ny float64
 	for i := range x {

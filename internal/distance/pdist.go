@@ -2,8 +2,10 @@ package distance
 
 import (
 	"fmt"
+	"math"
 
 	"cuisines/internal/matrix"
+	"cuisines/internal/parallel"
 )
 
 // Condensed is a condensed pairwise distance vector over n observations,
@@ -64,6 +66,31 @@ func (c *Condensed) index(i, j int) int {
 	return i*(2*c.n-i-1)/2 + (j - i - 1)
 }
 
+// rowOffset is the condensed offset of pair (i, i+1) — where row i's
+// block starts.
+func (c *Condensed) rowOffset(i int) int {
+	return i * (2*c.n - i - 1) / 2
+}
+
+// unindex maps a condensed offset back to its (i, j) pair, i < j — the
+// inverse of index. Row i's block starts at rowOffset(i), a decreasing
+// quadratic in i, so i is recovered by solving the quadratic and nudging
+// for float rounding.
+func (c *Condensed) unindex(k int) (int, int) {
+	if k < 0 || k >= len(c.d) {
+		panic(fmt.Sprintf("distance: offset %d out of range %d", k, len(c.d)))
+	}
+	tn := 2*c.n - 1
+	i := int((float64(tn) - math.Sqrt(float64(tn*tn-8*k))) / 2)
+	for i > 0 && c.rowOffset(i) > k {
+		i--
+	}
+	for c.rowOffset(i+1) <= k {
+		i++
+	}
+	return i, i + 1 + (k - c.rowOffset(i))
+}
+
 // At returns d(i, j); d(i, i) is 0.
 func (c *Condensed) At(i, j int) float64 {
 	if i == j {
@@ -104,16 +131,40 @@ func (c *Condensed) Clone() *Condensed {
 }
 
 // Pdist computes the condensed pairwise distances between the rows of m
-// under the metric — the scipy pdist call at the heart of Sec. VI.A.
+// under the metric — the scipy pdist call at the heart of Sec. VI.A. It
+// uses every available core; see PdistWorkers for the knob.
 func Pdist(m *matrix.Dense, metric Metric) *Condensed {
+	return PdistWorkers(m, metric, 0)
+}
+
+// PdistWorkers is Pdist with an explicit worker count (<= 0 means
+// GOMAXPROCS, 1 forces the sequential path). The condensed vector is
+// split into equal contiguous chunks of cells — not rows, whose
+// triangular lengths would leave the chunks unbalanced — and each worker
+// walks its chunk, mapping the first offset back to its (i, j) pair and
+// advancing incrementally from there. Every cell is a pure function of
+// two matrix rows written to its own slot, so the result is
+// byte-identical to the sequential computation for any worker count.
+func PdistWorkers(m *matrix.Dense, metric Metric, workers int) *Condensed {
 	n := m.Rows()
 	c := NewCondensed(n)
-	for i := 0; i < n; i++ {
-		ri := m.Row(i)
-		for j := i + 1; j < n; j++ {
-			c.Set(i, j, metric.Between(ri, m.Row(j)))
-		}
+	// Hoist the row extraction out of the O(n^2) inner loop: Row performs
+	// a bounds check and slice construction per call, which the pure
+	// metric kernels don't amortize.
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = m.Row(i)
 	}
+	parallel.ForChunks(len(c.d), workers, func(lo, hi int) {
+		i, j := c.unindex(lo)
+		for k := lo; k < hi; k++ {
+			c.d[k] = metric.Between(rows[i], rows[j])
+			if j++; j == n {
+				i++
+				j = i + 1
+			}
+		}
+	})
 	return c
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"cuisines/internal/matrix"
+	"cuisines/internal/parallel"
 )
 
 // ElbowPoint is one (k, WCSS) sample of the elbow curve.
@@ -29,7 +30,10 @@ type ElbowCurve struct {
 	ElbowStrength float64
 }
 
-// Elbow runs k-means for k = 1..kMax and assembles the elbow curve.
+// Elbow runs k-means for k = 1..kMax and assembles the elbow curve. The k
+// values are evaluated concurrently (Options.Workers); each k derives its
+// own seed, so the curve is identical to the sequential sweep and stable
+// under kMax changes.
 func Elbow(x *matrix.Dense, kMax int, opts Options) (*ElbowCurve, error) {
 	if kMax < 1 {
 		return nil, fmt.Errorf("kmeans: kMax must be >= 1")
@@ -37,17 +41,20 @@ func Elbow(x *matrix.Dense, kMax int, opts Options) (*ElbowCurve, error) {
 	if kMax > x.Rows() {
 		kMax = x.Rows()
 	}
-	curve := &ElbowCurve{}
-	for k := 1; k <= kMax; k++ {
-		// Derive a per-k seed so curves are stable under kMax changes.
+	points, err := parallel.MapErr(kMax, opts.Workers, func(i int) (ElbowPoint, error) {
+		k := i + 1
 		o := opts
 		o.Seed = opts.Seed*1000003 + uint64(k)
 		res, err := Run(x, k, o)
 		if err != nil {
-			return nil, err
+			return ElbowPoint{}, err
 		}
-		curve.Points = append(curve.Points, ElbowPoint{K: k, WCSS: res.WCSS})
+		return ElbowPoint{K: k, WCSS: res.WCSS}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	curve := &ElbowCurve{Points: points}
 	curve.analyze()
 	return curve, nil
 }

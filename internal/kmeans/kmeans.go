@@ -36,6 +36,12 @@ type Options struct {
 	Restarts int
 	// Seed drives the deterministic RNG (default 1).
 	Seed uint64
+	// Workers caps the number of k values the Elbow sweep evaluates
+	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path. Run itself stays sequential: its restarts share
+	// one RNG stream, so their order is part of the result. The curve is
+	// identical for any value (each k derives its own seed).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

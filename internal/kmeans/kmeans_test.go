@@ -215,3 +215,31 @@ func TestEmptyClusterReseeded(t *testing.T) {
 		}
 	}
 }
+
+// TestElbowWorkersEquivalence checks that the concurrent k sweep produces
+// exactly the sequential curve: each k derives its own seed, so schedule
+// cannot leak into the WCSS values.
+func TestElbowWorkersEquivalence(t *testing.T) {
+	x := threeBlobs(20)
+	seq, err := Elbow(x, 10, Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		par, err := Elbow(x, 10, Options{Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Points) != len(par.Points) {
+			t.Fatalf("workers=%d: point count %d vs %d", workers, len(par.Points), len(seq.Points))
+		}
+		for i := range seq.Points {
+			if seq.Points[i] != par.Points[i] {
+				t.Fatalf("workers=%d: point %d = %+v, sequential %+v", workers, i, par.Points[i], seq.Points[i])
+			}
+		}
+		if seq.ElbowK != par.ElbowK || seq.ElbowStrength != par.ElbowStrength {
+			t.Fatalf("workers=%d: diagnostic differs", workers)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	if got := Count(3); got != 3 {
+		t.Fatalf("Count(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want < 1 {
+		want = 1
+	}
+	for _, n := range []int{0, -1, -100} {
+		if got := Count(n); got != want {
+			t.Fatalf("Count(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]atomic.Int32, n)
+			For(n, workers, func(i int) {
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSequentialWhenOneWorker(t *testing.T) {
+	// With one worker the jobs must run in index order on the calling
+	// goroutine — the sequential path is literally sequential.
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 16, 0} {
+		for _, n := range []int{0, 1, 2, 5, 17, 100} {
+			hits := make([]atomic.Int32, n)
+			var chunks atomic.Int32
+			ForChunks(n, workers, func(lo, hi int) {
+				chunks.Add(1)
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+			w := Count(workers)
+			if w > n {
+				w = n
+			}
+			if n > 0 && int(chunks.Load()) != w {
+				t.Fatalf("workers=%d n=%d: %d chunks, want %d", workers, n, chunks.Load(), w)
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		got := Map(50, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) error {
+		isBad := make(map[int]bool)
+		for _, b := range bad {
+			isBad[b] = true
+		}
+		_, err := MapErr(20, 4, func(i int) (int, error) {
+			if isBad[i] {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	if err := errAt(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Regardless of scheduling, the reported error must be the lowest
+	// failing index.
+	for trial := 0; trial < 20; trial++ {
+		err := errAt(17, 3, 11)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: got %v, want job 3 failed", trial, err)
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	boom := errors.New("boom")
+	err := Do(4,
+		func() error { a.Store(true); return nil },
+		func() error { return boom },
+		func() error { b.Store(true); return nil },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if !a.Load() || !b.Load() {
+		t.Fatal("all tasks must run to completion even when one fails")
+	}
+	if err := Do(2); err != nil {
+		t.Fatalf("empty Do: %v", err)
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	// A panic in a worker must unwind on the calling goroutine —
+	// recoverable by the caller exactly like a sequential panic — and,
+	// with several panicking jobs, the re-raised value must be the
+	// lowest index's, matching what sequential execution raises first.
+	for _, workers := range []int{1, 4} {
+		hits := make([]atomic.Int32, 20)
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			For(20, workers, func(i int) {
+				hits[i].Add(1)
+				if i == 13 || i == 7 {
+					panic(fmt.Sprintf("job %d", i))
+				}
+			})
+			return nil
+		}()
+		if got != "job 7" {
+			t.Fatalf("workers=%d: recovered %v, want job 7", workers, got)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times; siblings of a panicking job must still run", workers, i, hits[i].Load())
+			}
+		}
+	}
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		ForChunks(100, 4, func(lo, hi int) {
+			panic(lo)
+		})
+		return nil
+	}()
+	if got != 0 {
+		t.Fatalf("ForChunks: recovered %v, want lowest chunk's 0", got)
+	}
+}

@@ -1,0 +1,90 @@
+package cuisines
+
+import (
+	"testing"
+)
+
+// TestParallelEquivalence is the enforcement of the parallel layer's core
+// design constraint: a Run with Workers: 1 (the fully sequential path) and
+// a Run with Workers: 8 must produce byte-identical artifacts — the same
+// Table I rendering, the same Newick string for all five dendrograms, the
+// same elbow report, and the same validation claims. Parallelism may only
+// change how fast the answer arrives, never the answer.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	run := func(workers int) *Analysis {
+		t.Helper()
+		a, err := Run(Options{Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(Workers: %d): %v", workers, err)
+		}
+		return a
+	}
+	seq := run(1)
+	par := run(8)
+
+	if s, p := seq.RenderTable(), par.RenderTable(); s != p {
+		t.Errorf("Table I differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	for _, f := range []Figure{FigureEuclidean, FigureCosine, FigureJaccard, FigureAuthenticity, FigureGeographic} {
+		s, err := seq.Newick(f)
+		if err != nil {
+			t.Fatalf("sequential Newick(%v): %v", f, err)
+		}
+		p, err := par.Newick(f)
+		if err != nil {
+			t.Fatalf("parallel Newick(%v): %v", f, err)
+		}
+		if s != p {
+			t.Errorf("%v Newick differs:\nseq: %s\npar: %s", f, s, p)
+		}
+	}
+	if s, p := seq.ElbowReport(), par.ElbowReport(); s != p {
+		t.Errorf("elbow report differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	sc, pc := seq.Claims(), par.Claims()
+	if len(sc) != len(pc) {
+		t.Fatalf("claim count differs: %d vs %d", len(sc), len(pc))
+	}
+	for i := range sc {
+		if sc[i] != pc[i] {
+			t.Errorf("claim %d differs: %+v vs %+v", i, sc[i], pc[i])
+		}
+	}
+	if s, p := seq.RenderValidation(), par.RenderValidation(); s != p {
+		t.Errorf("validation report differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestWorkersDefaultEquivalence pins the default (Workers: 0, all cores)
+// to the sequential reference as well, so the everyday configuration is
+// covered, not just the explicit 8-worker case.
+func TestWorkersDefaultEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	seq, err := Run(Options{Scale: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, d := seq.RenderTable(), def.RenderTable(); s != d {
+		t.Errorf("Table I differs between Workers=1 and default workers")
+	}
+	s, err := seq.Newick(FigureEuclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := def.Newick(FigureEuclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != d {
+		t.Errorf("Euclidean Newick differs between Workers=1 and default workers")
+	}
+}
