@@ -1,0 +1,314 @@
+package cuisines
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"cuisines/internal/recipedb"
+)
+
+// This file defines the cuisined daemon's wire format — the response
+// envelope for each /v1 endpoint — and a thin HTTP client for it. The
+// server (internal/server) marshals these same types, so client and
+// daemon can never disagree about field names. DESIGN.md §7 documents
+// the API.
+
+// ErrorResponse is the body of every non-2xx daemon response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Cached counts analyses currently held (or in flight) by the
+	// daemon's cache.
+	Cached int `json:"cached"`
+}
+
+// TableResponse is the /v1/table body: the Table I reproduction.
+type TableResponse struct {
+	Rows []TableRow `json:"rows"`
+}
+
+// DendrogramResponse is the /v1/dendrogram/{figure} body.
+type DendrogramResponse struct {
+	Figure     string `json:"figure"`
+	Dendrogram string `json:"dendrogram"`
+}
+
+// ClustersResponse is the /v1/clusters/{figure}?k= body.
+type ClustersResponse struct {
+	Figure   string     `json:"figure"`
+	K        int        `json:"k"`
+	Clusters [][]string `json:"clusters"`
+}
+
+// ClosestResponse is the /v1/closest/{figure}?region= body.
+type ClosestResponse struct {
+	Figure  string `json:"figure"`
+	Region  string `json:"region"`
+	Closest string `json:"closest"`
+	// Distance is the cophenetic distance at which the two merge.
+	Distance float64 `json:"distance"`
+}
+
+// PatternsResponse is the /v1/patterns/{region} body.
+type PatternsResponse struct {
+	Region   string        `json:"region"`
+	Patterns []PatternInfo `json:"patterns"`
+}
+
+// RulesResponse is the /v1/rules/{region} body.
+type RulesResponse struct {
+	Region string            `json:"region"`
+	Rules  []AssociationRule `json:"rules"`
+}
+
+// PairingsResponse is the /v1/pairings/{region} body: the cuisine's
+// flavor-compound pairing statistic (Jain et al.'s ΔN_s framing)
+// together with its ingredient-only association rules.
+type PairingsResponse struct {
+	Region  string            `json:"region"`
+	Pairing FoodPairing       `json:"pairing"`
+	Rules   []AssociationRule `json:"rules"`
+}
+
+// SubstitutesResponse is the /v1/substitutes/{region}?ingredient= body.
+type SubstitutesResponse struct {
+	Region      string       `json:"region"`
+	Ingredient  string       `json:"ingredient"`
+	Substitutes []Substitute `json:"substitutes"`
+}
+
+// MapResponse is the /v1/map body. Rendered is present only when the
+// request asked for the ASCII rendering (width/height query params).
+type MapResponse struct {
+	Points            []MapPoint `json:"points"`
+	VarianceExplained [2]float64 `json:"variance_explained"`
+	Rendered          string     `json:"rendered,omitempty"`
+}
+
+// ClaimsResponse is the /v1/claims body: the Sec. VII claim checks and
+// tree-vs-geography fits.
+type ClaimsResponse struct {
+	Claims  []ClaimResult  `json:"claims"`
+	Fits    []GeographyFit `json:"fits"`
+	AllHold bool           `json:"all_hold"`
+}
+
+// Client is a thin client for the cuisined daemon: each method mirrors
+// the Analysis accessor of the same name, evaluated daemon-side against
+// a cached analysis.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8372".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+	// Options selects which analysis the daemon answers from. Zero
+	// fields fall back to the daemon's own defaults; Workers is a
+	// daemon-side concern and is never transmitted.
+	Options Options
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// query encodes the client's non-zero analysis options plus any extra
+// endpoint parameters.
+func (c *Client) query(extra url.Values) url.Values {
+	q := url.Values{}
+	if c.Options.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(c.Options.Seed, 10))
+	}
+	if c.Options.Scale > 0 {
+		q.Set("scale", strconv.FormatFloat(c.Options.Scale, 'g', -1, 64))
+	}
+	if c.Options.MinSupport > 0 {
+		q.Set("support", strconv.FormatFloat(c.Options.MinSupport, 'g', -1, 64))
+	}
+	if c.Options.Linkage != "" {
+		q.Set("linkage", c.Options.Linkage)
+	}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	return q
+}
+
+// get performs one GET and decodes the response: 2xx bodies into out
+// (raw bytes when out is *[]byte), error bodies into an error.
+func (c *Client) get(ctx context.Context, path string, extra url.Values, out any) error {
+	u := c.BaseURL + path
+	if q := c.query(extra); len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("cuisines: daemon %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("cuisines: daemon %s on %s", resp.Status, path)
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = body
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	err := c.get(ctx, "/healthz", nil, &h)
+	return h, err
+}
+
+// Table fetches the Table I reproduction.
+func (c *Client) Table(ctx context.Context) ([]TableRow, error) {
+	var t TableResponse
+	if err := c.get(ctx, "/v1/table", nil, &t); err != nil {
+		return nil, err
+	}
+	return t.Rows, nil
+}
+
+// Dendrogram fetches the figure's ASCII dendrogram.
+func (c *Client) Dendrogram(ctx context.Context, f Figure) (string, error) {
+	var d DendrogramResponse
+	if err := c.get(ctx, "/v1/dendrogram/"+url.PathEscape(f.String()), nil, &d); err != nil {
+		return "", err
+	}
+	return d.Dendrogram, nil
+}
+
+// Newick fetches the figure's Newick serialization. The daemon sends it
+// as plain text, byte-identical to Analysis.Newick.
+func (c *Client) Newick(ctx context.Context, f Figure) (string, error) {
+	var raw []byte
+	if err := c.get(ctx, "/v1/newick/"+url.PathEscape(f.String()), nil, &raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// Clusters cuts the figure's dendrogram into k clusters.
+func (c *Client) Clusters(ctx context.Context, f Figure, k int) ([][]string, error) {
+	var r ClustersResponse
+	extra := url.Values{"k": {strconv.Itoa(k)}}
+	if err := c.get(ctx, "/v1/clusters/"+url.PathEscape(f.String()), extra, &r); err != nil {
+		return nil, err
+	}
+	return r.Clusters, nil
+}
+
+// ClosestCuisine returns the region merging earliest with the given one,
+// plus their cophenetic distance.
+func (c *Client) ClosestCuisine(ctx context.Context, f Figure, region string) (string, float64, error) {
+	var r ClosestResponse
+	extra := url.Values{"region": {region}}
+	if err := c.get(ctx, "/v1/closest/"+url.PathEscape(f.String()), extra, &r); err != nil {
+		return "", 0, err
+	}
+	return r.Closest, r.Distance, nil
+}
+
+// Fingerprint fetches the region's k most and least authentic
+// ingredients.
+func (c *Client) Fingerprint(ctx context.Context, region string, k int) (Fingerprint, error) {
+	var fp Fingerprint
+	extra := url.Values{"k": {strconv.Itoa(k)}}
+	err := c.get(ctx, "/v1/fingerprint/"+url.PathEscape(region), extra, &fp)
+	return fp, err
+}
+
+// CuisinePatterns fetches every frequent pattern mined for the region.
+func (c *Client) CuisinePatterns(ctx context.Context, region string) ([]PatternInfo, error) {
+	var r PatternsResponse
+	if err := c.get(ctx, "/v1/patterns/"+url.PathEscape(region), nil, &r); err != nil {
+		return nil, err
+	}
+	return r.Patterns, nil
+}
+
+// AssociationRules fetches the region's association rules. Zero
+// minConfidence and maxRules use the daemon defaults.
+func (c *Client) AssociationRules(ctx context.Context, region string, minConfidence float64, maxRules int) ([]AssociationRule, error) {
+	var r RulesResponse
+	extra := url.Values{}
+	if minConfidence > 0 {
+		extra.Set("min_confidence", strconv.FormatFloat(minConfidence, 'g', -1, 64))
+	}
+	if maxRules > 0 {
+		extra.Set("max", strconv.Itoa(maxRules))
+	}
+	if err := c.get(ctx, "/v1/rules/"+url.PathEscape(region), extra, &r); err != nil {
+		return nil, err
+	}
+	return r.Rules, nil
+}
+
+// Pairings fetches the region's food-pairing view: the flavor ΔN_s
+// statistic and the ingredient-only rules.
+func (c *Client) Pairings(ctx context.Context, region string) (PairingsResponse, error) {
+	var r PairingsResponse
+	err := c.get(ctx, "/v1/pairings/"+url.PathEscape(region), nil, &r)
+	return r, err
+}
+
+// Substitutes fetches replacement candidates for an ingredient within a
+// cuisine.
+func (c *Client) Substitutes(ctx context.Context, region, ingredient string, k int) ([]Substitute, error) {
+	var r SubstitutesResponse
+	extra := url.Values{"ingredient": {ingredient}}
+	if k > 0 {
+		extra.Set("k", strconv.Itoa(k))
+	}
+	if err := c.get(ctx, "/v1/substitutes/"+url.PathEscape(region), extra, &r); err != nil {
+		return nil, err
+	}
+	return r.Substitutes, nil
+}
+
+// CuisineMap fetches the 2-D cuisine map.
+func (c *Client) CuisineMap(ctx context.Context) (MapResponse, error) {
+	var r MapResponse
+	err := c.get(ctx, "/v1/map", nil, &r)
+	return r, err
+}
+
+// Claims fetches the Sec. VII claim checks and geography fits.
+func (c *Client) Claims(ctx context.Context) (ClaimsResponse, error) {
+	var r ClaimsResponse
+	err := c.get(ctx, "/v1/claims", nil, &r)
+	return r, err
+}
+
+// Stats fetches the Sec. III corpus statistics.
+func (c *Client) Stats(ctx context.Context) (recipedb.Stats, error) {
+	var st recipedb.Stats
+	err := c.get(ctx, "/v1/stats", nil, &st)
+	return st, err
+}

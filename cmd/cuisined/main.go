@@ -1,0 +1,103 @@
+// Command cuisined is the analysis daemon: it computes the paper's full
+// evaluation once per distinct option set, caches it, and answers
+// queries — Table I, dendrograms, Newick exports, cluster cuts,
+// fingerprints, patterns, association rules, food pairings, ingredient
+// substitutions, the cuisine map, the Sec. VII claims and the corpus
+// statistics — as a JSON HTTP API.
+//
+// Usage:
+//
+//	cuisined -addr :8372 -preload            # warm the default analysis at boot
+//	cuisined -scale 0.25 -workers 4          # quarter-scale default, bounded pool
+//
+//	curl localhost:8372/healthz
+//	curl localhost:8372/v1/table
+//	curl localhost:8372/v1/newick/fig5-authenticity
+//	curl 'localhost:8372/v1/closest/fig6-geographic?region=UK'
+//
+// Requests may select a different analysis with seed=, scale=, support=
+// and linkage= query parameters; each distinct combination is computed
+// once and kept in an LRU cache. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cuisines"
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cuisined: ")
+	var (
+		addr      = flag.String("addr", ":8372", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size per pipeline run (0 = all cores, 1 = sequential; output is identical)")
+		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "max distinct analyses kept (LRU)")
+		preload   = flag.Bool("preload", false, "warm the default analysis at boot")
+		scale     = flag.Float64("scale", 1.0, "default corpus scale")
+		seed      = flag.Uint64("seed", corpus.DefaultSeed, "default corpus generator seed")
+		support   = flag.Float64("support", core.DefaultMinSupport, "default pattern-mining support threshold")
+		linkage   = flag.String("linkage", core.DefaultLinkage.String(), "default linkage method")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Base: cuisines.Options{
+			Seed:       *seed,
+			Scale:      *scale,
+			MinSupport: *support,
+			Linkage:    *linkage,
+			Workers:    *workers,
+		},
+		CacheSize: *cacheSize,
+	})
+
+	if *preload {
+		// Warm concurrently so /healthz answers immediately; the first
+		// /v1 request joins the in-flight run instead of starting another.
+		go func() {
+			start := time.Now()
+			if err := srv.Warm(); err != nil {
+				log.Printf("preload failed: %v", err)
+				return
+			}
+			log.Printf("preload done in %v", time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("shut down cleanly")
+	}
+}

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"cuisines/internal/core"
 	"cuisines/internal/corpus"
+	"cuisines/internal/distance"
 	"cuisines/internal/hac"
 	"cuisines/internal/recipedb"
 )
@@ -60,6 +62,33 @@ type Options struct {
 	Workers int
 }
 
+// Canonical returns the Options with every default applied and the
+// linkage name normalized ("upgma" -> "average"), rejecting unknown
+// linkage methods. Two Options describe the same analysis exactly when
+// their canonical forms differ only in Workers: parallelism never
+// changes the output, so the serving cache keys on the canonical form
+// with Workers zeroed (DESIGN.md §7).
+func (o Options) Canonical() (Options, error) {
+	if o.Seed == 0 {
+		o.Seed = corpus.DefaultSeed
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = core.DefaultMinSupport
+	}
+	if o.Linkage == "" {
+		o.Linkage = core.DefaultLinkage.String()
+	}
+	method, err := hac.ParseMethod(o.Linkage)
+	if err != nil {
+		return Options{}, err
+	}
+	o.Linkage = method.String()
+	return o, nil
+}
+
 // Figure selects one of the paper's dendrograms.
 type Figure int
 
@@ -74,7 +103,31 @@ const (
 	FigureAuthenticity
 	// FigureGeographic is Fig. 6: great-circle distances (validation).
 	FigureGeographic
+
+	numFigures = int(FigureGeographic) + 1
 )
+
+// AllFigures lists the five dendrogram figures in paper order.
+func AllFigures() []Figure {
+	return []Figure{FigureEuclidean, FigureCosine, FigureJaccard, FigureAuthenticity, FigureGeographic}
+}
+
+// ParseFigure resolves a figure name: the canonical form ("fig5-authenticity")
+// or either half of it ("fig5", "authenticity"). It is the inverse of
+// Figure.String and the parser the HTTP API uses for {figure} path
+// segments.
+func ParseFigure(s string) (Figure, error) {
+	for _, f := range AllFigures() {
+		name := f.String()
+		if s == name {
+			return f, nil
+		}
+		if i := strings.IndexByte(name, '-'); i >= 0 && (s == name[:i] || s == name[i+1:]) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("cuisines: unknown figure %q", s)
+}
 
 // String names the figure.
 func (f Figure) String() string {
@@ -95,27 +148,37 @@ func (f Figure) String() string {
 }
 
 // Analysis holds one full run of the paper's evaluation.
+//
+// Accessors that derive state from the run — the cophenetic matrices,
+// the region index and the corpus statistics — memoize it on first use
+// (guarded by sync.Once), so an Analysis served per-request by the
+// cuisined daemon answers every repeat query without recomputation and
+// is safe for concurrent use.
 type Analysis struct {
 	db         *recipedb.DB
 	figures    *core.Figures
 	validation *core.Validation
+
+	statsOnce sync.Once
+	stats     recipedb.Stats
+
+	pairingsOnce sync.Once
+	pairings     []FoodPairing
+
+	regionsOnce sync.Once
+	regionIdx   map[string]int
+
+	cophOnce [numFigures]sync.Once
+	coph     [numFigures]*distance.Condensed
 }
 
 // Run generates the calibrated corpus and executes the complete pipeline:
 // per-cuisine FP-Growth, Table I significance ranking, the Fig. 1 elbow
 // analysis, the five dendrograms, and the Sec. VII validation.
 func Run(opts Options) (*Analysis, error) {
-	if opts.Seed == 0 {
-		opts.Seed = corpus.DefaultSeed
-	}
-	if opts.Scale <= 0 {
-		opts.Scale = 1
-	}
-	if opts.MinSupport <= 0 {
-		opts.MinSupport = core.DefaultMinSupport
-	}
-	if opts.Linkage == "" {
-		opts.Linkage = core.DefaultLinkage.String()
+	opts, err := opts.Canonical()
+	if err != nil {
+		return nil, err
 	}
 	method, err := hac.ParseMethod(opts.Linkage)
 	if err != nil {
@@ -218,37 +281,69 @@ func (a *Analysis) Newick(f Figure) (string, error) {
 	return t.Tree.Newick(), nil
 }
 
+// cophenetic returns the figure's cophenetic matrix, computing it at
+// most once per Analysis: building it walks the whole tree and
+// allocates O(n²), far too much to repeat on every daemon request.
+func (a *Analysis) cophenetic(f Figure) (*distance.Condensed, error) {
+	t, err := a.tree(f)
+	if err != nil {
+		return nil, err
+	}
+	a.cophOnce[f].Do(func() { a.coph[f] = t.Tree.Cophenetic() })
+	return a.coph[f], nil
+}
+
+// regionIndex resolves a region name to its index in canonical order —
+// the leaf order every tree and matrix shares — via a map built once.
+func (a *Analysis) regionIndex(region string) (int, error) {
+	a.regionsOnce.Do(func() {
+		regions := a.db.Regions()
+		a.regionIdx = make(map[string]int, len(regions))
+		for i, r := range regions {
+			a.regionIdx[r] = i
+		}
+	})
+	i, ok := a.regionIdx[region]
+	if !ok {
+		return 0, fmt.Errorf("cuisines: unknown region %q", region)
+	}
+	return i, nil
+}
+
 // CuisineDistance returns the cophenetic distance between two cuisines in
 // the figure's dendrogram — the height at which they merge.
 func (a *Analysis) CuisineDistance(f Figure, regionA, regionB string) (float64, error) {
-	t, err := a.tree(f)
+	coph, err := a.cophenetic(f)
 	if err != nil {
 		return 0, err
 	}
-	return t.Tree.MergeHeightBetween(regionA, regionB)
+	ia, err := a.regionIndex(regionA)
+	if err != nil {
+		return 0, err
+	}
+	ib, err := a.regionIndex(regionB)
+	if err != nil {
+		return 0, err
+	}
+	if ia == ib {
+		return 0, nil
+	}
+	return coph.At(ia, ib), nil
 }
 
 // ClosestCuisine returns the region merging earliest with the given one
 // in the figure's dendrogram.
 func (a *Analysis) ClosestCuisine(f Figure, region string) (string, error) {
-	t, err := a.tree(f)
+	coph, err := a.cophenetic(f)
 	if err != nil {
 		return "", err
 	}
-	coph := t.Tree.Cophenetic()
-	regions := a.Regions()
-	self := -1
-	for i, r := range regions {
-		if r == region {
-			self = i
-			break
-		}
-	}
-	if self == -1 {
-		return "", fmt.Errorf("cuisines: unknown region %q", region)
+	self, err := a.regionIndex(region)
+	if err != nil {
+		return "", err
 	}
 	j, _ := coph.ArgClosest(self)
-	return regions[j], nil
+	return a.Regions()[j], nil
 }
 
 // Clusters cuts the figure's dendrogram into k clusters and returns the
@@ -276,8 +371,12 @@ func (a *Analysis) Clusters(f Figure, k int) ([][]string, error) {
 	return out, nil
 }
 
-// Stats exposes the Sec. III corpus statistics.
-func (a *Analysis) Stats() recipedb.Stats { return recipedb.ComputeStats(a.db) }
+// Stats exposes the Sec. III corpus statistics, computed on first call
+// and memoized (the daemon serves it per request).
+func (a *Analysis) Stats() recipedb.Stats {
+	a.statsOnce.Do(func() { a.stats = recipedb.ComputeStats(a.db) })
+	return a.stats
+}
 
 // ElbowReport renders the Fig. 1 elbow analysis.
 func (a *Analysis) ElbowReport() string {

@@ -1,0 +1,45 @@
+// Example daemon: serve an analysis over HTTP in-process and query it
+// through the bundled client — the same wire format cmd/cuisined
+// speaks, without needing a separately running daemon.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"cuisines"
+	"cuisines/internal/server"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New(server.Config{
+		Base: cuisines.Options{Scale: 0.1},
+	}))
+	defer ts.Close()
+
+	c := cuisines.NewClient(ts.URL)
+	ctx := context.Background()
+
+	closest, dist, err := c.ClosestCuisine(ctx, cuisines.FigureGeographic, "UK")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Closest to UK (geographic tree): %s at %.0f km\n\n", closest, dist)
+
+	fp, err := c.Fingerprint(ctx, "Japanese", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Most authentic in Japanese cuisine:")
+	for _, e := range fp.Most {
+		fmt.Printf("  %-14s relative %+0.2f\n", e.Item, e.Relative)
+	}
+
+	nw, err := c.Newick(ctx, cuisines.FigureAuthenticity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig. 5 Newick (first 60 bytes): %.60s...\n", nw)
+}

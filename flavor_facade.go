@@ -12,25 +12,29 @@ import (
 // ingredients (the Western pattern); negative means it pairs chemically
 // contrasting ones (the pattern Jain et al. report for Indian cuisine).
 type FoodPairing struct {
-	Region      string
-	CoOccurring float64
-	Random      float64
-	DeltaNs     float64
+	Region      string  `json:"region"`
+	CoOccurring float64 `json:"co_occurring"`
+	Random      float64 `json:"random"`
+	DeltaNs     float64 `json:"delta_ns"`
 }
 
-// FoodPairings computes the pairing statistic for every cuisine.
+// FoodPairings computes the pairing statistic for every cuisine. The
+// underlying flavor analysis scans the whole corpus, so it is computed
+// once per Analysis and memoized (the daemon serves it per request).
 func (a *Analysis) FoodPairings() []FoodPairing {
-	rows := flavor.AnalyzeDB(a.db, 1)
-	out := make([]FoodPairing, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, FoodPairing{
-			Region:      r.Region,
-			CoOccurring: r.CoOccurring,
-			Random:      r.Random,
-			DeltaNs:     r.DeltaNs,
-		})
-	}
-	return out
+	a.pairingsOnce.Do(func() {
+		rows := flavor.AnalyzeDB(a.db, 1)
+		a.pairings = make([]FoodPairing, 0, len(rows))
+		for _, r := range rows {
+			a.pairings = append(a.pairings, FoodPairing{
+				Region:      r.Region,
+				CoOccurring: r.CoOccurring,
+				Random:      r.Random,
+				DeltaNs:     r.DeltaNs,
+			})
+		}
+	})
+	return a.pairings
 }
 
 // FoodPairingFor returns one cuisine's pairing statistic.

@@ -27,6 +27,17 @@ func TestFoodPairings(t *testing.T) {
 	}
 }
 
+// TestFoodPairingsMemoized: the flavor analysis scans the whole corpus,
+// so repeated calls must reuse the first result (shared backing array).
+func TestFoodPairingsMemoized(t *testing.T) {
+	a := getAnalysis(t)
+	r1 := a.FoodPairings()
+	r2 := a.FoodPairings()
+	if len(r1) == 0 || &r1[0] != &r2[0] {
+		t.Fatal("FoodPairings recomputed between calls")
+	}
+}
+
 func TestFoodPairingFor(t *testing.T) {
 	a := getAnalysis(t)
 	fp, err := a.FoodPairingFor("UK")

@@ -10,27 +10,27 @@ import (
 
 // Stats summarizes a DB in the terms of Sec. III of the paper.
 type Stats struct {
-	Recipes           int
-	Regions           int
-	UniqueIngredients int
-	UniqueProcesses   int
-	UniqueUtensils    int
+	Recipes           int `json:"recipes"`
+	Regions           int `json:"regions"`
+	UniqueIngredients int `json:"unique_ingredients"`
+	UniqueProcesses   int `json:"unique_processes"`
+	UniqueUtensils    int `json:"unique_utensils"`
 	// Mean items per recipe, by kind (paper: ~10 ingredients, ~12
 	// processes, ~3 utensils).
-	MeanIngredients float64
-	MeanProcesses   float64
-	MeanUtensils    float64
+	MeanIngredients float64 `json:"mean_ingredients"`
+	MeanProcesses   float64 `json:"mean_processes"`
+	MeanUtensils    float64 `json:"mean_utensils"`
 	// RecipesWithoutUtensils counts the utensil-sparse recipes (paper:
 	// 14,601).
-	RecipesWithoutUtensils int
+	RecipesWithoutUtensils int `json:"recipes_without_utensils"`
 	// PerRegion holds recipe counts by region, sorted by region name.
-	PerRegion []RegionCount
+	PerRegion []RegionCount `json:"per_region"`
 }
 
 // RegionCount pairs a region with its recipe count.
 type RegionCount struct {
-	Region  string
-	Recipes int
+	Region  string `json:"region"`
+	Recipes int    `json:"recipes"`
 }
 
 // ComputeStats scans the DB once and returns its Sec. III summary.

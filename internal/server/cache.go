@@ -1,0 +1,127 @@
+// Package server exposes the cuisines Analysis facade as a JSON HTTP
+// API backed by an LRU analysis cache with single-flight deduplication.
+// The cuisined daemon (cmd/cuisined) is a thin wrapper around it; the
+// root package's Client speaks its wire format. See DESIGN.md §7.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"cuisines"
+)
+
+// Runner is the pipeline entry point the cache invokes on a miss. Tests
+// substitute a counting or stubbed runner; the daemon uses cuisines.Run.
+type Runner func(cuisines.Options) (*cuisines.Analysis, error)
+
+// Cache memoizes full pipeline runs keyed by canonicalized
+// cuisines.Options (seed, scale, min-support, linkage — never Workers,
+// which cannot change the output). A fixed number of analyses is kept
+// with LRU eviction, and lookups are deduplicated single-flight style:
+// any number of concurrent Gets for the same key share exactly one
+// pipeline run.
+type Cache struct {
+	run Runner
+	max int
+
+	mu      sync.Mutex
+	entries map[cuisines.Options]*entry
+	lru     *list.List // of *entry; front = most recently used
+}
+
+// entry is one cached (or in-flight) analysis. ready is closed once a
+// and err are final; waiters block on it outside the cache lock, so a
+// slow pipeline run never stalls hits on other keys.
+type entry struct {
+	key   cuisines.Options
+	elem  *list.Element
+	ready chan struct{}
+	a     *cuisines.Analysis
+	err   error
+}
+
+// DefaultCacheSize bounds distinct analyses kept when the caller passes
+// size <= 0. Analyses are large (the full corpus plus every figure), so
+// the default stays small.
+const DefaultCacheSize = 8
+
+// NewCache returns a Cache holding up to size analyses, running misses
+// through run (nil means cuisines.Run).
+func NewCache(size int, run Runner) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	if run == nil {
+		run = cuisines.Run
+	}
+	return &Cache{
+		run:     run,
+		max:     size,
+		entries: make(map[cuisines.Options]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Key returns the cache key for opts: the canonical form with Workers
+// zeroed. The error is the canonicalization error (unknown linkage).
+func Key(opts cuisines.Options) (cuisines.Options, error) {
+	canon, err := opts.Canonical()
+	if err != nil {
+		return cuisines.Options{}, err
+	}
+	canon.Workers = 0
+	return canon, nil
+}
+
+// Get returns the analysis for opts, computing it at most once per key
+// no matter how many callers arrive concurrently. Failed runs are
+// reported to every waiter of that flight but never cached, so a later
+// request retries.
+func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
+	key, err := Key(opts)
+	if err != nil {
+		return nil, err
+	}
+	runOpts := key
+	runOpts.Workers = opts.Workers
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.a, e.err
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for c.lru.Len() > c.max {
+		// Evicting an in-flight entry is safe: its waiters hold the
+		// entry itself and still get the shared result.
+		back := c.lru.Back()
+		ev := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, ev.key)
+	}
+	c.mu.Unlock()
+
+	e.a, e.err = c.run(runOpts)
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e { // not already evicted
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.a, e.err
+}
+
+// Len reports how many analyses are cached or in flight.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"cuisines"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Base holds the daemon's default analysis options. Requests may
+	// override the cache-key fields (seed, scale, support, linkage) via
+	// query parameters; Workers always comes from Base.
+	Base cuisines.Options
+	// CacheSize bounds the number of distinct analyses held (LRU);
+	// <= 0 means DefaultCacheSize.
+	CacheSize int
+	// Runner overrides the pipeline entry point; nil means cuisines.Run.
+	Runner Runner
+}
+
+// Server serves the Analysis facade over HTTP. All endpoints are GETs
+// under /v1 (plus /healthz); every response is JSON except
+// /v1/newick/{figure}, which is plain text so that its bytes equal
+// Analysis.Newick exactly.
+type Server struct {
+	base  cuisines.Options
+	cache *Cache
+	mux   *http.ServeMux
+}
+
+// New builds a Server with its routes registered.
+func New(cfg Config) *Server {
+	s := &Server{
+		base:  cfg.Base,
+		cache: NewCache(cfg.CacheSize, cfg.Runner),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/table", s.with(s.handleTable))
+	mux.HandleFunc("GET /v1/dendrogram/{figure}", s.withFigure(s.handleDendrogram))
+	mux.HandleFunc("GET /v1/newick/{figure}", s.withFigure(s.handleNewick))
+	mux.HandleFunc("GET /v1/clusters/{figure}", s.withFigure(s.handleClusters))
+	mux.HandleFunc("GET /v1/closest/{figure}", s.withFigure(s.handleClosest))
+	mux.HandleFunc("GET /v1/fingerprint/{region}", s.with(s.handleFingerprint))
+	mux.HandleFunc("GET /v1/patterns/{region}", s.with(s.handlePatterns))
+	mux.HandleFunc("GET /v1/rules/{region}", s.with(s.handleRules))
+	mux.HandleFunc("GET /v1/pairings/{region}", s.with(s.handlePairings))
+	mux.HandleFunc("GET /v1/substitutes/{region}", s.with(s.handleSubstitutes))
+	mux.HandleFunc("GET /v1/map", s.with(s.handleMap))
+	mux.HandleFunc("GET /v1/claims", s.with(s.handleClaims))
+	mux.HandleFunc("GET /v1/stats", s.with(s.handleStats))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Warm computes and caches the analysis for the server's base options
+// (the -preload path in cuisined).
+func (s *Server) Warm() error {
+	_, err := s.cache.Get(s.base)
+	return err
+}
+
+// requestOptions merges per-request query parameters over the base
+// options. Malformed or unknown values are a client error.
+func (s *Server) requestOptions(r *http.Request) (cuisines.Options, error) {
+	opts := s.base
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad seed %q", v)
+		}
+		opts.Seed = seed
+	}
+	if v := q.Get("scale"); v != "" {
+		scale, err := strconv.ParseFloat(v, 64)
+		if err != nil || scale <= 0 || scale > MaxScale {
+			return opts, fmt.Errorf("scale must be in (0, %g]", float64(MaxScale))
+		}
+		opts.Scale = scale
+	}
+	if v := q.Get("support"); v != "" {
+		sup, err := strconv.ParseFloat(v, 64)
+		if err != nil || sup <= 0 || sup > 1 {
+			return opts, fmt.Errorf("bad support %q", v)
+		}
+		opts.MinSupport = sup
+	}
+	if v := q.Get("linkage"); v != "" {
+		opts.Linkage = v
+	}
+	if _, err := Key(opts); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// MaxScale bounds the per-request scale override: an unauthenticated
+// query must not be able to demand an arbitrarily large corpus.
+const MaxScale = 4
+
+// analysisHandler is an endpoint handler that already has its analysis
+// resolved.
+type analysisHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis)
+
+// figureHandler additionally has its {figure} path segment resolved.
+type figureHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure)
+
+// with resolves the request's analysis through the cache before calling
+// h: bad analysis parameters are a 400, pipeline failures a 500.
+func (s *Server) with(h analysisHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		opts, err := s.requestOptions(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		a, err := s.cache.Get(opts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		h(w, r, a)
+	}
+}
+
+// withFigure validates the {figure} path segment BEFORE resolving the
+// analysis, so a bogus figure is a cheap 404 rather than a pipeline run
+// against a cold cache key.
+func (s *Server) withFigure(h figureHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f, err := cuisines.ParseFigure(r.PathValue("figure"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		s.with(func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+			h(w, r, a, f)
+		})(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, cuisines.HealthResponse{Status: "ok", Cached: s.cache.Len()})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
+	writeJSON(w, http.StatusOK, cuisines.TableResponse{Rows: a.Table()})
+}
+
+func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+	d, err := a.Dendrogram(f)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.DendrogramResponse{Figure: f.String(), Dendrogram: d})
+}
+
+func (s *Server) handleNewick(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+	nw, err := a.Newick(f)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(nw))
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+	k, err := queryInt(r, "k", 0)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
+		return
+	}
+	groups, err := a.Clusters(f, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.ClustersResponse{Figure: f.String(), K: k, Clusters: groups})
+}
+
+func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+	region := r.URL.Query().Get("region")
+	if region == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing region parameter"))
+		return
+	}
+	if !hasRegion(a, region) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region %q", region))
+		return
+	}
+	closest, err := a.ClosestCuisine(f, region)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	d, err := a.CuisineDistance(f, region, closest)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.ClosestResponse{
+		Figure: f.String(), Region: region, Closest: closest, Distance: d,
+	})
+}
+
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	region, ok := pathRegion(w, r, a)
+	if !ok {
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
+		return
+	}
+	fp, err := a.Fingerprint(region, k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fp)
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	region, ok := pathRegion(w, r, a)
+	if !ok {
+		return
+	}
+	ps, err := a.CuisinePatterns(region)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.PatternsResponse{Region: region, Patterns: ps})
+}
+
+// ruleParams parses the shared min_confidence / max query parameters.
+func ruleParams(r *http.Request) (minConfidence float64, maxRules int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("min_confidence"); v != "" {
+		minConfidence, err = strconv.ParseFloat(v, 64)
+		if err != nil || minConfidence <= 0 || minConfidence > 1 {
+			return 0, 0, fmt.Errorf("bad min_confidence %q", v)
+		}
+	}
+	maxRules, err = queryInt(r, "max", 0)
+	if err != nil || maxRules < 0 {
+		return 0, 0, fmt.Errorf("bad max parameter")
+	}
+	return minConfidence, maxRules, nil
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	region, ok := pathRegion(w, r, a)
+	if !ok {
+		return
+	}
+	minConf, maxRules, err := ruleParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rules, err := a.AssociationRules(region, minConf, maxRules)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.RulesResponse{Region: region, Rules: rules})
+}
+
+func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	region, ok := pathRegion(w, r, a)
+	if !ok {
+		return
+	}
+	minConf, maxRules, err := ruleParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pairing, err := a.FoodPairingFor(region)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rules, err := a.IngredientPairings(region, minConf, maxRules)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.PairingsResponse{Region: region, Pairing: pairing, Rules: rules})
+}
+
+func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	region, ok := pathRegion(w, r, a)
+	if !ok {
+		return
+	}
+	ingredient := r.URL.Query().Get("ingredient")
+	if ingredient == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ingredient parameter"))
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil || k < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
+		return
+	}
+	subs, err := a.Substitutes(region, ingredient, k)
+	if err != nil {
+		// The region exists (checked above), so the failure is the
+		// ingredient having no frequent context in this cuisine.
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.SubstitutesResponse{
+		Region: region, Ingredient: ingredient, Substitutes: subs,
+	})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
+	points, variance, err := a.CuisineMap()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := cuisines.MapResponse{Points: points, VarianceExplained: variance}
+	q := r.URL.Query()
+	if q.Has("width") || q.Has("height") {
+		width, err := queryInt(r, "width", 0)
+		if err != nil || width < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad width parameter"))
+			return
+		}
+		height, err := queryInt(r, "height", 0)
+		if err != nil || height < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad height parameter"))
+			return
+		}
+		rendered, err := a.RenderCuisineMap(width, height)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Rendered = rendered
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClaims(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
+	writeJSON(w, http.StatusOK, cuisines.ClaimsResponse{
+		Claims:  a.Claims(),
+		Fits:    a.GeographyFits(),
+		AllHold: a.AllClaimsHold(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
+	writeJSON(w, http.StatusOK, a.Stats())
+}
+
+// pathRegion parses the {region} path segment, answering 404 itself on
+// unknown regions.
+func pathRegion(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) (string, bool) {
+	region := r.PathValue("region")
+	if !hasRegion(a, region) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region %q", region))
+		return "", false
+	}
+	return region, true
+}
+
+func hasRegion(a *cuisines.Analysis, region string) bool {
+	for _, r := range a.Regions() {
+		if r == region {
+			return true
+		}
+	}
+	return false
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// writeJSON marshals before touching the ResponseWriter, so an
+// encoding failure (e.g. a non-finite float escaping into a response
+// type) becomes a clean 500 instead of a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Printf("server: encoding %T: %v", v, err)
+		http.Error(w, `{"error": "response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, cuisines.ErrorResponse{Error: err.Error()})
+}

@@ -9,8 +9,9 @@ import (
 // MapPoint is one cuisine's position on the 2-D cuisine map (principal
 // coordinates of the authenticity features).
 type MapPoint struct {
-	Region string
-	X, Y   float64
+	Region string  `json:"region"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
 }
 
 // CuisineMap projects the 26 cuisines onto their top two principal
@@ -80,6 +81,12 @@ func (a *Analysis) RenderCuisineMap(width, height int) (string, error) {
 		ab := abbrevs[p.Region]
 		col := int((p.X - minX) / spanX * float64(width-len(ab)-1))
 		row := int((maxY - p.Y) / spanY * float64(height-1))
+		// When width is narrower than the label plus one the scale factor
+		// above is negative and col with it; clamp both coordinates into
+		// the grid so tiny canvases degrade to overlap instead of
+		// panicking.
+		col = clamp(col, 0, width-1)
+		row = clamp(row, 0, height-1)
 		for k := 0; k < len(ab); k++ {
 			if col+k < width && grid[row][col+k] == ' ' {
 				grid[row][col+k] = ab[k]
@@ -107,6 +114,16 @@ func (a *Analysis) RenderCuisineMap(width, height int) (string, error) {
 	}
 	b.WriteByte('\n')
 	return b.String(), nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // abbreviate builds a short label from a region name ("Chinese and

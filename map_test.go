@@ -49,6 +49,31 @@ func TestRenderCuisineMap(t *testing.T) {
 	}
 }
 
+// TestRenderCuisineMapSmallSizes is the regression test for the
+// out-of-range panic: widths smaller than a label plus one drove col
+// negative. Every tiny canvas must render — degraded, never panicking.
+func TestRenderCuisineMapSmallSizes(t *testing.T) {
+	a := getAnalysis(t)
+	for width := 1; width <= 14; width++ {
+		for height := 1; height <= 5; height++ {
+			s, err := a.RenderCuisineMap(width, height)
+			if err != nil {
+				t.Fatalf("width=%d height=%d: %v", width, height, err)
+			}
+			lines := strings.Split(s, "\n")
+			// header + top border + height rows + bottom border + legend + "".
+			if got, want := len(lines), height+5; got != want {
+				t.Fatalf("width=%d height=%d: %d lines, want %d:\n%s", width, height, got, want, s)
+			}
+			for _, row := range lines[2 : 2+height] {
+				if len(row) != width+2 {
+					t.Fatalf("width=%d height=%d: row %q has width %d", width, height, row, len(row))
+				}
+			}
+		}
+	}
+}
+
 func TestAbbreviationsUnique(t *testing.T) {
 	regions := []string{
 		"UK", "US", "Japanese", "Chinese and Mongolian", "Spanish and Portuguese",

@@ -1,6 +1,7 @@
 package cuisines
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -20,6 +21,59 @@ type AssociationRule struct {
 	// Conviction is +Inf for confidence-1 rules; IsPerfect reports that
 	// case without the caller needing to handle infinities.
 	Conviction float64
+}
+
+// ruleJSON is the wire form of AssociationRule: JSON has no +Inf, so
+// perfect rules omit conviction and set perfect instead.
+type ruleJSON struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+	Conviction *float64 `json:"conviction,omitempty"`
+	Perfect    bool     `json:"perfect,omitempty"`
+}
+
+// MarshalJSON encodes the rule, mapping the +Inf conviction of perfect
+// rules to "perfect": true (JSON cannot represent infinities).
+func (r AssociationRule) MarshalJSON() ([]byte, error) {
+	j := ruleJSON{
+		Antecedent: r.Antecedent,
+		Consequent: r.Consequent,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		Lift:       r.Lift,
+	}
+	if r.IsPerfect() {
+		j.Perfect = true
+	} else {
+		j.Conviction = &r.Conviction
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: "perfect": true restores
+// the +Inf conviction.
+func (r *AssociationRule) UnmarshalJSON(b []byte) error {
+	var j ruleJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = AssociationRule{
+		Antecedent: j.Antecedent,
+		Consequent: j.Consequent,
+		Support:    j.Support,
+		Confidence: j.Confidence,
+		Lift:       j.Lift,
+	}
+	switch {
+	case j.Perfect:
+		r.Conviction = math.Inf(1)
+	case j.Conviction != nil:
+		r.Conviction = *j.Conviction
+	}
+	return nil
 }
 
 // IsPerfect reports whether the rule held in every supporting recipe

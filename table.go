@@ -10,21 +10,21 @@ import (
 
 // TableRow is one row of the Table I reproduction.
 type TableRow struct {
-	Region  string
-	Recipes int
+	Region  string `json:"region"`
+	Recipes int    `json:"recipes"`
 	// Top holds the headline patterns (most significant first), rendered
 	// in the paper's "a + b" notation.
-	Top []HeadlinePattern
+	Top []HeadlinePattern `json:"top"`
 	// Patterns is the number of frequent itemsets mined at the support
 	// threshold.
-	Patterns int
+	Patterns int `json:"patterns"`
 }
 
 // HeadlinePattern is a significant pattern with its support.
 type HeadlinePattern struct {
-	Pattern string
-	Support float64
-	Score   float64
+	Pattern string  `json:"pattern"`
+	Support float64 `json:"support"`
+	Score   float64 `json:"score"`
 }
 
 // Table returns the Table I reproduction, one row per cuisine.
@@ -50,12 +50,12 @@ func (a *Analysis) RenderTable() string { return a.figures.Table1.String() }
 // PatternInfo is one mined frequent itemset of a cuisine.
 type PatternInfo struct {
 	// Items holds the item names in canonical order.
-	Items []string
+	Items []string `json:"items"`
 	// Kinds holds each item's kind name ("ingredient", "process",
 	// "utensil"), aligned with Items.
-	Kinds   []string
-	Support float64
-	Count   int
+	Kinds   []string `json:"kinds"`
+	Support float64  `json:"support"`
+	Count   int      `json:"count"`
 }
 
 // CuisinePatterns returns every frequent pattern mined for the region, in
@@ -81,22 +81,22 @@ func (a *Analysis) CuisinePatterns(region string) ([]PatternInfo, error) {
 
 // FingerprintEntry is one item of a cuisine's authenticity fingerprint.
 type FingerprintEntry struct {
-	Item string
+	Item string `json:"item"`
 	// Relative is the relative prevalence p_i^c (eq. 2): positive for
 	// items over-represented in the cuisine, negative for items it
 	// conspicuously avoids.
-	Relative float64
+	Relative float64 `json:"relative"`
 	// Prevalence is the raw within-cuisine prevalence P_i^c (eq. 1).
-	Prevalence float64
+	Prevalence float64 `json:"prevalence"`
 }
 
 // Fingerprint holds both ends of a cuisine's culinary fingerprint.
 type Fingerprint struct {
-	Region string
+	Region string `json:"region"`
 	// Most holds the most authentic (over-represented) ingredients.
-	Most []FingerprintEntry
+	Most []FingerprintEntry `json:"most"`
 	// Least holds the least authentic (avoided) ingredients.
-	Least []FingerprintEntry
+	Least []FingerprintEntry `json:"least"`
 }
 
 // Fingerprint returns the region's k most and least authentic
@@ -190,18 +190,18 @@ func (a *Analysis) Substitutes(region, ingredient string, k int) ([]Substitute, 
 
 // Substitute is one replacement candidate.
 type Substitute struct {
-	Ingredient string
+	Ingredient string `json:"ingredient"`
 	// Similarity is the Jaccard overlap of co-occurrence neighborhoods in
 	// [0, 1].
-	Similarity float64
+	Similarity float64 `json:"similarity"`
 }
 
 // ClaimResult is one verified Sec. VII claim.
 type ClaimResult struct {
-	Name   string
-	Tree   string
-	Detail string
-	Holds  bool
+	Name   string `json:"name"`
+	Tree   string `json:"tree"`
+	Detail string `json:"detail"`
+	Holds  bool   `json:"holds"`
 }
 
 // Claims returns the Sec. VII claim checks.
@@ -216,10 +216,10 @@ func (a *Analysis) Claims() []ClaimResult {
 // GeographyFit is one tree's quantified similarity to the geographic
 // tree.
 type GeographyFit struct {
-	Tree           string
-	Cophenetic     float64
-	BakersGamma    float64
-	RobinsonFoulds float64
+	Tree           string  `json:"tree"`
+	Cophenetic     float64 `json:"cophenetic"`
+	BakersGamma    float64 `json:"bakers_gamma"`
+	RobinsonFoulds float64 `json:"robinson_foulds"`
 }
 
 // GeographyFits returns every cuisine tree's similarity to geography.
