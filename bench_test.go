@@ -18,6 +18,8 @@ package cuisines
 //	A2 BenchmarkLinkageAblation        linkage methods vs geography fit
 //	A3 BenchmarkFeatureAblation        binary vs support vs TF-IDF
 //	A4 BenchmarkFIHCAblation           FIHC vs pdist+linkage
+//	P1-P4 ...Parallel                  worker-count sweeps (DESIGN.md §3)
+//	P5 BenchmarkStagedReuse            cold vs staged-warm vs disk load (§8)
 //
 // Benches run at a tenth of the full corpus so an iteration stays in the
 // tens-of-milliseconds range; EXPERIMENTS.md records the full-scale
@@ -28,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"cuisines/internal/apriori"
 	"cuisines/internal/authenticity"
@@ -317,6 +320,72 @@ func BenchmarkBuildFiguresParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// P5 — staged artifact reuse (DESIGN.md §8): the cost of an analysis
+// against an engine that already holds a sibling analysis's stage
+// artifacts, at the paper's full scale. "cold" is the whole graph from
+// nothing; "warm-linkage-only" changes only the linkage against a warm
+// store (corpus, mining, matrices and pdist all reused — the staged
+// refactor's headline win; the acceptance bar is >= 5x over cold);
+// "warm-support-only" re-mines but reuses the corpus and the
+// corpus-keyed features; "disk-load" rebuilds every stage from the
+// persistent tier, the restarted-daemon path. The ratio sub-benchmark
+// reports cold/warm directly as a metric.
+func BenchmarkStagedReuse(b *testing.B) {
+	base := Options{Scale: 1, Linkage: "average"}
+	changed := map[string]Options{
+		"warm-linkage-only": {Scale: 1, Linkage: "ward"},
+		"warm-support-only": {Scale: 1, Linkage: "average", MinSupport: 0.25},
+	}
+	run := func(b *testing.B, e *Engine, opts Options) {
+		b.Helper()
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, NewEngine(EngineConfig{}), base)
+		}
+	})
+	for name, opts := range changed {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := NewEngine(EngineConfig{})
+				run(b, e, base)
+				b.StartTimer()
+				run(b, e, opts)
+			}
+		})
+	}
+	b.Run("disk-load", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, NewEngine(EngineConfig{CacheDir: dir}), base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh engine per iteration is a simulated restart: every
+			// stage loads from the persistent tier.
+			run(b, NewEngine(EngineConfig{CacheDir: dir}), base)
+		}
+	})
+	b.Run("cold-vs-warm-ratio", func(b *testing.B) {
+		var cold, warm time.Duration
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(EngineConfig{})
+			t0 := time.Now()
+			run(b, e, base)
+			cold += time.Since(t0)
+			t1 := time.Now()
+			run(b, e, changed["warm-linkage-only"])
+			warm += time.Since(t1)
+		}
+		if warm > 0 {
+			b.ReportMetric(float64(cold)/float64(warm), "cold/warm")
+		}
+	})
 }
 
 // A1 — miner ablation: the three miners on the same region at several

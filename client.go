@@ -102,6 +102,40 @@ type ClaimsResponse struct {
 	AllHold bool           `json:"all_hold"`
 }
 
+// StageCacheStats counts one pipeline stage's artifact cache traffic.
+// Hits are memory-tier hits, DiskHits are persistent-tier loads,
+// Computed counts actual stage executions — the number the staged
+// pipeline exists to minimize — and InFlightJoins counts requests that
+// latched onto an already-running computation.
+type StageCacheStats struct {
+	Hits          uint64 `json:"hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	Computed      uint64 `json:"computed"`
+	Evictions     uint64 `json:"evictions"`
+	InFlightJoins uint64 `json:"inflight_joins"`
+}
+
+// AnalysisCacheStats counts the daemon's analysis-level cache traffic
+// (the LRU of assembled Analysis objects in front of the stage store).
+type AnalysisCacheStats struct {
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	InFlightJoins uint64 `json:"inflight_joins"`
+}
+
+// CacheStatsResponse is the /v1/cachestats body: the analysis cache
+// counters plus the per-stage artifact store counters, keyed by stage
+// kind ("corpus", "mine", "matrices", "auth", "pdist", "geodist",
+// "tree", "elbow", "validate"). Stages is empty when the daemon runs
+// with a custom pipeline entry point that bypasses the stage graph.
+type CacheStatsResponse struct {
+	Analyses AnalysisCacheStats         `json:"analyses"`
+	Stages   map[string]StageCacheStats `json:"stages"`
+}
+
 // Client is a thin client for the cuisined daemon: each method mirrors
 // the Analysis accessor of the same name, evaluated daemon-side against
 // a cached analysis.
@@ -184,6 +218,14 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 	var h HealthResponse
 	err := c.get(ctx, "/healthz", nil, &h)
 	return h, err
+}
+
+// CacheStats fetches the daemon's analysis-cache and per-stage
+// artifact-cache counters.
+func (c *Client) CacheStats(ctx context.Context) (CacheStatsResponse, error) {
+	var s CacheStatsResponse
+	err := c.get(ctx, "/v1/cachestats", nil, &s)
+	return s, err
 }
 
 // Table fetches the Table I reproduction.

@@ -9,16 +9,22 @@
 //
 //	cuisined -addr :8372 -preload            # warm the default analysis at boot
 //	cuisined -scale 0.25 -workers 4          # quarter-scale default, bounded pool
+//	cuisined -cache-dir /var/cache/cuisined  # persist stage artifacts; restarts come back warm
 //
 //	curl localhost:8372/healthz
 //	curl localhost:8372/v1/table
 //	curl localhost:8372/v1/newick/fig5-authenticity
 //	curl 'localhost:8372/v1/closest/fig6-geographic?region=UK'
+//	curl localhost:8372/v1/cachestats
 //
 // Requests may select a different analysis with seed=, scale=, support=
 // and linkage= query parameters; each distinct combination is computed
-// once and kept in an LRU cache. The daemon shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests first.
+// once and kept in an LRU cache. Underneath it, the staged pipeline
+// caches per-stage artifacts, so analyses that share a corpus and
+// mining run (different linkage, different figure) share that work;
+// with -cache-dir the artifacts persist across restarts. The daemon
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
+// first and logging its cache counters.
 package main
 
 import (
@@ -45,6 +51,8 @@ func main() {
 		addr      = flag.String("addr", ":8372", "listen address")
 		workers   = flag.Int("workers", 0, "worker pool size per pipeline run (0 = all cores, 1 = sequential; output is identical)")
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "max distinct analyses kept (LRU)")
+		cacheDir  = flag.String("cache-dir", "", "persist pipeline stage artifacts here so restarts come back warm (empty = memory only)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "cache-dir size cap; least-recently-used artifacts are deleted above it (0 = 4 GiB default)")
 		preload   = flag.Bool("preload", false, "warm the default analysis at boot")
 		scale     = flag.Float64("scale", 1.0, "default corpus scale")
 		seed      = flag.Uint64("seed", corpus.DefaultSeed, "default corpus generator seed")
@@ -52,6 +60,16 @@ func main() {
 		linkage   = flag.String("linkage", core.DefaultLinkage.String(), "default linkage method")
 	)
 	flag.Parse()
+
+	if *cacheDir != "" {
+		// Fail fast on a misconfigured flag; individual artifact files
+		// are best-effort, but an uncreatable directory is operator error.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("cache-dir: %v", err)
+		}
+		log.Printf("persisting stage artifacts in %s", *cacheDir)
+	}
+	engine := cuisines.NewEngine(cuisines.EngineConfig{CacheDir: *cacheDir, MaxCacheBytes: *cacheMax})
 
 	srv := server.New(server.Config{
 		Base: cuisines.Options{
@@ -62,6 +80,7 @@ func main() {
 			Workers:    *workers,
 		},
 		CacheSize: *cacheSize,
+		Engine:    engine,
 	})
 
 	if *preload {
@@ -97,6 +116,13 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
+		}
+		st := srv.CacheStats()
+		log.Printf("analysis cache: size=%d/%d hits=%d misses=%d evictions=%d inflight_joins=%d",
+			st.Analyses.Size, st.Analyses.Capacity, st.Analyses.Hits, st.Analyses.Misses,
+			st.Analyses.Evictions, st.Analyses.InFlightJoins)
+		for _, line := range engine.CacheSummary() {
+			log.Printf("stage %s", line)
 		}
 		log.Printf("shut down cleanly")
 	}

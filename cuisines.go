@@ -28,10 +28,12 @@ import (
 	"strings"
 	"sync"
 
+	"cuisines/internal/artifact"
 	"cuisines/internal/core"
 	"cuisines/internal/corpus"
 	"cuisines/internal/distance"
 	"cuisines/internal/hac"
+	"cuisines/internal/pipeline"
 	"cuisines/internal/recipedb"
 )
 
@@ -172,10 +174,53 @@ type Analysis struct {
 	coph     [numFigures]*distance.Condensed
 }
 
-// Run generates the calibrated corpus and executes the complete pipeline:
-// per-cuisine FP-Growth, Table I significance ranking, the Fig. 1 elbow
-// analysis, the five dendrograms, and the Sec. VII validation.
-func Run(opts Options) (*Analysis, error) {
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// CacheDir enables the persistent artifact tier: stage outputs
+	// (corpus, mined patterns, matrices, distances, trees, validation)
+	// are written there and reloaded by later runs — including runs in
+	// a future process, which is how a restarted daemon comes back
+	// warm. Empty keeps artifacts in memory only. Corrupted, truncated
+	// or version-mismatched files are silently recomputed, never fatal.
+	CacheDir string
+	// MaxArtifacts bounds the in-memory artifact tier (LRU); <= 0 uses
+	// a default that comfortably holds several analyses worth of
+	// stages.
+	MaxArtifacts int
+	// MaxCacheBytes bounds the CacheDir tier: after each write, the
+	// least recently used artifact files are deleted until the total
+	// is under the cap. <= 0 means a 4 GiB default. Analysis
+	// parameters are client-controlled on the daemon, so the disk tier
+	// must not grow without bound.
+	MaxCacheBytes int64
+}
+
+// Engine executes analyses through the staged pipeline graph
+// (DESIGN.md §8) with a shared artifact store: runs that share a graph
+// prefix — same corpus and mining run, different linkage or figure —
+// reuse each other's cached stage outputs instead of recomputing them.
+// An Engine is safe for concurrent use; concurrent runs needing the
+// same stage share exactly one computation.
+type Engine struct {
+	pipe *pipeline.Pipeline
+}
+
+// NewEngine builds an Engine. The zero config is valid: a private
+// in-memory artifact store with default bounds.
+func NewEngine(cfg EngineConfig) *Engine {
+	store := artifact.NewStore(artifact.Options{
+		Dir:          cfg.CacheDir,
+		MaxEntries:   cfg.MaxArtifacts,
+		MaxDiskBytes: cfg.MaxCacheBytes,
+	})
+	return &Engine{pipe: pipeline.New(store)}
+}
+
+// Run generates the calibrated corpus and executes the complete
+// pipeline — per-cuisine FP-Growth, Table I significance ranking, the
+// Fig. 1 elbow analysis, the five dendrograms, and the Sec. VII
+// validation — reusing any stage artifacts the engine already holds.
+func (e *Engine) Run(opts Options) (*Analysis, error) {
 	opts, err := opts.Canonical()
 	if err != nil {
 		return nil, err
@@ -184,35 +229,41 @@ func Run(opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale, Workers: opts.Workers})
+	res, err := e.pipe.Run(pipeline.Params{
+		Seed:       opts.Seed,
+		Scale:      opts.Scale,
+		MinSupport: opts.MinSupport,
+		Method:     method,
+		Workers:    opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return analyze(db, opts.MinSupport, method, opts.Workers)
+	return &Analysis{db: res.DB, figures: res.Figures, validation: res.Validation}, nil
 }
 
-// RunFromCSV runs the pipeline on recipes read from CSV (the format
-// written by `cmd/recipegen -format csv`). Options.Seed and Scale are
-// ignored — the data is what the reader provides.
-func RunFromCSV(r io.Reader, opts Options) (*Analysis, error) {
+// RunFromCSV is RunFromCSV through the engine's artifact store.
+func (e *Engine) RunFromCSV(r io.Reader, opts Options) (*Analysis, error) {
 	db, err := recipedb.ReadCSV(r)
 	if err != nil {
 		return nil, err
 	}
-	return runOn(db, opts)
+	return e.runOn(db, opts)
 }
 
-// RunFromJSONL runs the pipeline on recipes read from JSON Lines (the
-// format written by `cmd/recipegen -format jsonl`).
-func RunFromJSONL(r io.Reader, opts Options) (*Analysis, error) {
+// RunFromJSONL is RunFromJSONL through the engine's artifact store.
+func (e *Engine) RunFromJSONL(r io.Reader, opts Options) (*Analysis, error) {
 	db, err := recipedb.ReadJSONL(r)
 	if err != nil {
 		return nil, err
 	}
-	return runOn(db, opts)
+	return e.runOn(db, opts)
 }
 
-func runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
+// runOn executes the graph on an externally supplied database. The
+// corpus stage is keyed by a content hash of the recipes, so the same
+// dataset supplied twice shares all downstream artifacts.
+func (e *Engine) runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
 	if opts.MinSupport <= 0 {
 		opts.MinSupport = core.DefaultMinSupport
 	}
@@ -223,20 +274,57 @@ func runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analyze(db, opts.MinSupport, method, opts.Workers)
+	res, err := e.pipe.RunOn(db, pipeline.Params{
+		MinSupport: opts.MinSupport,
+		Method:     method,
+		Workers:    opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{db: res.DB, figures: res.Figures, validation: res.Validation}, nil
 }
 
-// analyze runs the pipeline on an existing database.
-func analyze(db *recipedb.DB, minSupport float64, method hac.Method, workers int) (*Analysis, error) {
-	figs, err := core.BuildFiguresWorkers(db, minSupport, method, workers)
-	if err != nil {
-		return nil, err
+// CacheStats returns the engine's per-stage artifact cache counters,
+// keyed by stage kind ("corpus", "mine", "matrices", "auth", "pdist",
+// "geodist", "tree", "elbow", "validate").
+func (e *Engine) CacheStats() map[string]StageCacheStats {
+	stats := e.pipe.Store().Stats()
+	out := make(map[string]StageCacheStats, len(stats))
+	for kind, s := range stats {
+		out[kind] = StageCacheStats{
+			Hits:          s.Hits,
+			DiskHits:      s.DiskHits,
+			Computed:      s.Computed,
+			Evictions:     s.Evictions,
+			InFlightJoins: s.InFlightJoins,
+		}
 	}
-	v, err := core.Validate(figs)
-	if err != nil {
-		return nil, err
-	}
-	return &Analysis{db: db, figures: figs, validation: v}, nil
+	return out
+}
+
+// CacheSummary renders the per-stage counters as one stable line per
+// stage — the daemon logs it at shutdown.
+func (e *Engine) CacheSummary() []string { return e.pipe.Store().Summary() }
+
+// Run executes the complete pipeline with a private single-run engine.
+// Callers making repeated or overlapping runs should hold a shared
+// Engine instead, which reuses per-stage artifacts across runs.
+func Run(opts Options) (*Analysis, error) {
+	return NewEngine(EngineConfig{}).Run(opts)
+}
+
+// RunFromCSV runs the pipeline on recipes read from CSV (the format
+// written by `cmd/recipegen -format csv`). Options.Seed and Scale are
+// ignored — the data is what the reader provides.
+func RunFromCSV(r io.Reader, opts Options) (*Analysis, error) {
+	return NewEngine(EngineConfig{}).RunFromCSV(r, opts)
+}
+
+// RunFromJSONL runs the pipeline on recipes read from JSON Lines (the
+// format written by `cmd/recipegen -format jsonl`).
+func RunFromJSONL(r io.Reader, opts Options) (*Analysis, error) {
+	return NewEngine(EngineConfig{}).RunFromJSONL(r, opts)
 }
 
 // Regions returns the 26 cuisine names in canonical (sorted) order.

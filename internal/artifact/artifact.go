@@ -1,0 +1,452 @@
+// Package artifact implements the content-addressed artifact store
+// behind the staged pipeline (internal/pipeline, DESIGN.md §8). Every
+// pipeline stage output — corpus, mined patterns, feature matrices,
+// condensed distances, trees, validation — is an artifact addressed by
+// a stable key derived from the stage's parameters and its inputs'
+// keys. The store memoizes artifacts in two tiers:
+//
+//   - a bounded in-memory LRU tier holding the live Go values, and
+//   - an optional disk tier holding versioned, checksummed encodings,
+//     which lets a restarted daemon come back warm.
+//
+// Lookups are deduplicated single-flight per key: any number of
+// concurrent GetOrCompute calls for the same key share exactly one
+// computation, so two analyses that share an upstream stage never mine
+// the same corpus twice even when they arrive together.
+//
+// Disk artifacts are best-effort by design: a missing, truncated,
+// corrupted or version-mismatched file is treated as a cache miss and
+// recomputed, never a fatal error. Writes go through a temp file +
+// rename so a crash mid-write cannot leave a half-written artifact
+// under the final name.
+package artifact
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Codec encodes and decodes one kind of artifact for the disk tier.
+// Kind names the stage ("corpus", "mine", ...) and Version is bumped on
+// any change to the encoded format; both are part of the on-disk header
+// and the file name, so a format change simply orphans old files.
+type Codec interface {
+	Kind() string
+	Version() int
+	Encode(w io.Writer, v any) error
+	Decode(r io.Reader) (any, error)
+}
+
+// Key derives a stable artifact key from a stage kind and its
+// parameters — typically literal parameter values plus the keys of the
+// stage's inputs, which makes keys content-addressed transitively: a
+// seed change reaches every downstream key through the chain.
+func Key(kind string, parts ...string) string {
+	h := sha256.New()
+	io.WriteString(h, kind)
+	for _, p := range parts {
+		h.Write([]byte{0}) // unambiguous joins
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Stats counts one kind's cache traffic. Hits are memory-tier hits,
+// DiskHits are disk-tier loads, Computed counts actual stage
+// executions, Evictions counts memory-tier LRU evictions, and
+// InFlightJoins counts callers that latched onto an in-flight
+// computation instead of starting their own.
+type Stats struct {
+	Hits          uint64 `json:"hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	Computed      uint64 `json:"computed"`
+	Evictions     uint64 `json:"evictions"`
+	InFlightJoins uint64 `json:"inflight_joins"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the disk-tier directory; empty disables the disk tier.
+	// The directory is created on first use.
+	Dir string
+	// MaxEntries bounds the memory tier (LRU); <= 0 means
+	// DefaultMaxEntries.
+	MaxEntries int
+	// MaxDiskBytes bounds the disk tier: after every write the store
+	// deletes least-recently-used artifact files (by modification time)
+	// until the total is under the cap. Analysis parameters are
+	// client-controlled on the daemon's query string, so an unbounded
+	// disk tier would let `?seed=N` loops fill the volume. <= 0 means
+	// DefaultMaxDiskBytes.
+	MaxDiskBytes int64
+}
+
+// DefaultMaxEntries bounds the memory tier when the caller does not: a
+// full analysis produces ~13 artifacts, so the default comfortably
+// holds several analyses worth of stages.
+const DefaultMaxEntries = 128
+
+// DefaultMaxDiskBytes bounds the disk tier when the caller does not:
+// 4 GiB holds hundreds of full-scale analysis chains.
+const DefaultMaxDiskBytes = 4 << 30
+
+// Store is the two-tier artifact store.
+type Store struct {
+	dir     string
+	max     int
+	maxDisk int64
+
+	diskMu    sync.Mutex // guards diskTotal and GC scans
+	diskTotal int64      // running estimate of disk-tier bytes; -1 = unknown
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of *entry; front = most recently used
+	stats   map[string]*Stats
+}
+
+// entry is one cached (or in-flight) artifact. ready is closed once v
+// and err are final; done distinguishes a finished entry from an
+// in-flight one under the store lock.
+type entry struct {
+	key   string
+	kind  string
+	elem  *list.Element
+	ready chan struct{}
+	done  bool
+	v     any
+	err   error
+}
+
+// NewStore builds a Store. The disk directory (if any) is created
+// lazily by the first write, so a read-only inspection of a store with
+// a bogus dir never fails.
+func NewStore(opts Options) *Store {
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	maxDisk := opts.MaxDiskBytes
+	if maxDisk <= 0 {
+		maxDisk = DefaultMaxDiskBytes
+	}
+	return &Store{
+		dir:       opts.Dir,
+		max:       max,
+		maxDisk:   maxDisk,
+		diskTotal: -1, // measured on first write
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		stats:     make(map[string]*Stats),
+	}
+}
+
+// DiskEnabled reports whether the store has a disk tier.
+func (s *Store) DiskEnabled() bool { return s.dir != "" }
+
+// statsFor returns the mutable counter block for a kind. Caller holds mu.
+func (s *Store) statsFor(kind string) *Stats {
+	st := s.stats[kind]
+	if st == nil {
+		st = &Stats{}
+		s.stats[kind] = st
+	}
+	return st
+}
+
+// GetOrCompute returns the artifact under key, resolving it through the
+// memory tier, then the disk tier, then compute — whichever answers
+// first. Concurrent calls for the same key share one resolution.
+// Failed computations are reported to every waiter of that flight but
+// never cached, so a later call retries.
+func (s *Store) GetOrCompute(key string, codec Codec, compute func() (any, error)) (any, error) {
+	kind := codec.Kind()
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		st := s.statsFor(kind)
+		if e.done {
+			st.Hits++
+		} else {
+			st.InFlightJoins++
+		}
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		return e.v, e.err
+	}
+	e := &entry{key: key, kind: kind, ready: make(chan struct{})}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for s.lru.Len() > s.max {
+		// Evicting an in-flight entry is safe: its waiters hold the
+		// entry itself and still receive the shared result.
+		back := s.lru.Back()
+		ev := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, ev.key)
+		s.statsFor(ev.kind).Evictions++
+	}
+	s.mu.Unlock()
+
+	if v, ok := s.loadDisk(key, codec); ok {
+		s.finish(e, kind, v, nil, false)
+		return v, nil
+	}
+	v, err := compute()
+	s.finish(e, kind, v, err, true)
+	if err == nil {
+		s.saveDisk(key, codec, v)
+	}
+	return v, err
+}
+
+// finish publishes a flight's result and updates counters.
+func (s *Store) finish(e *entry, kind string, v any, err error, computed bool) {
+	e.v, e.err = v, err
+	s.mu.Lock()
+	e.done = true
+	st := s.statsFor(kind)
+	if computed {
+		st.Computed++
+	} else {
+		st.DiskHits++
+	}
+	if err != nil && s.entries[e.key] == e { // failed: forget, allow retry
+		s.lru.Remove(e.elem)
+		delete(s.entries, e.key)
+	}
+	s.mu.Unlock()
+	close(e.ready)
+}
+
+// Stats returns a copy of the per-kind counters.
+func (s *Store) Stats() map[string]Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Stats, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Len reports how many artifacts are held in (or in flight into) the
+// memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Summary renders the per-kind counters as one stable, human-readable
+// line per kind — the daemon's shutdown log format.
+func (s *Store) Summary() []string {
+	stats := s.Stats()
+	kinds := make([]string, 0, len(stats))
+	for k := range stats {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		st := stats[k]
+		out[i] = fmt.Sprintf("%s: hits=%d disk_hits=%d computed=%d evictions=%d inflight_joins=%d",
+			k, st.Hits, st.DiskHits, st.Computed, st.Evictions, st.InFlightJoins)
+	}
+	return out
+}
+
+// Disk format: magic, format version, codec kind + version, payload
+// length, payload sha256, payload. Anything that fails a check is
+// silently a miss.
+var diskMagic = [4]byte{'C', 'A', 'R', 'T'}
+
+const diskFormatVersion = 1
+
+// path returns the disk file for a key. Kind and codec version are in
+// the name so `ls` of a cache dir reads as an inventory and version
+// bumps orphan old files instead of tripping over them.
+func (s *Store) path(key string, codec Codec) string {
+	name := fmt.Sprintf("%s-v%d-%s.art", sanitizeKind(codec.Kind()), codec.Version(), key)
+	return filepath.Join(s.dir, name)
+}
+
+func sanitizeKind(kind string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, kind)
+}
+
+// loadDisk attempts a disk-tier read. Every failure mode — absent
+// file, bad magic, version mismatch, checksum mismatch, decode error —
+// is (nil, false).
+func (s *Store) loadDisk(key string, codec Codec) (any, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key, codec))
+	if err != nil {
+		return nil, false
+	}
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != diskMagic {
+		return nil, false
+	}
+	var header struct {
+		Format, CodecVersion uint32
+		KindLen, PayloadLen  uint32
+	}
+	if err := binary.Read(r, binary.LittleEndian, &header); err != nil {
+		return nil, false
+	}
+	if header.Format != diskFormatVersion || int(header.CodecVersion) != codec.Version() {
+		return nil, false
+	}
+	if header.KindLen > 256 || int64(header.PayloadLen) > int64(r.Len()) {
+		return nil, false
+	}
+	kind := make([]byte, header.KindLen)
+	if _, err := io.ReadFull(r, kind); err != nil || string(kind) != codec.Kind() {
+		return nil, false
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, false
+	}
+	// The payload is the tail of the buffer ReadFile already holds;
+	// subslice it instead of copying — artifacts run to tens of MB.
+	if int64(r.Len()) < int64(header.PayloadLen) {
+		return nil, false
+	}
+	payload := data[len(data)-r.Len():][:header.PayloadLen]
+	if sha256.Sum256(payload) != sum {
+		return nil, false
+	}
+	v, err := codec.Decode(bytes.NewReader(payload))
+	if err != nil {
+		return nil, false
+	}
+	// Re-stamp the mtime so gcDisk's mtime ordering is LRU, not
+	// write-order: artifacts still being served survive the cap.
+	now := time.Now()
+	_ = os.Chtimes(s.path(key, codec), now, now)
+	return v, true
+}
+
+// saveDisk writes an artifact to the disk tier, best effort: encoding
+// or I/O failures leave the cache cold but never fail the pipeline.
+// The header and checksum are written separately from the payload so a
+// large artifact is held in memory once, not twice.
+func (s *Store) saveDisk(key string, codec Codec, v any) {
+	if s.dir == "" {
+		return
+	}
+	var payload bytes.Buffer
+	if err := codec.Encode(&payload, v); err != nil {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(f.Name())
+	sum := sha256.Sum256(payload.Bytes())
+	var header bytes.Buffer
+	header.Write(diskMagic[:])
+	binary.Write(&header, binary.LittleEndian, struct {
+		Format, CodecVersion uint32
+		KindLen, PayloadLen  uint32
+	}{diskFormatVersion, uint32(codec.Version()), uint32(len(codec.Kind())), uint32(payload.Len())})
+	header.WriteString(codec.Kind())
+	header.Write(sum[:])
+	if _, err := f.Write(header.Bytes()); err != nil {
+		f.Close()
+		return
+	}
+	if _, err := f.Write(payload.Bytes()); err != nil {
+		f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
+		return
+	}
+	if os.Rename(f.Name(), s.path(key, codec)) == nil {
+		s.noteDiskWrite(int64(header.Len()) + int64(payload.Len()))
+	}
+}
+
+// noteDiskWrite maintains the running disk-tier byte estimate and
+// triggers GC only when it crosses the cap, keeping the common write
+// O(1) instead of a directory scan. The estimate may drift (a rename
+// over an existing key double-counts); every GC scan re-measures
+// exactly, so drift never accumulates past one GC cycle.
+func (s *Store) noteDiskWrite(n int64) {
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.diskTotal >= 0 {
+		s.diskTotal += n
+	}
+	if s.diskTotal >= 0 && s.diskTotal <= s.maxDisk {
+		return
+	}
+	s.gcDiskLocked()
+}
+
+// gcDiskLocked bounds the disk tier: while the artifact files exceed
+// MaxDiskBytes, the least recently touched (loadDisk re-stamps mtimes
+// on hits, making mtime order LRU order) are deleted. Best effort.
+// Caller holds diskMu.
+func (s *Store) gcDiskLocked() {
+	dents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	for _, d := range dents {
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".art") {
+			continue
+		}
+		info, err := d.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{name: d.Name(), size: info.Size(), mtime: info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= s.maxDisk {
+			break
+		}
+		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
+			total -= f.size
+		}
+	}
+	s.diskTotal = total
+}

@@ -128,6 +128,57 @@ func GeographicTree(regions []string, method hac.Method) (*CuisineTree, error) {
 	}, nil
 }
 
+// AuthMinRegionPrevalence is the Fig. 5 long-tail cutoff: items whose
+// prevalence never reaches it in any region are dropped from the
+// authenticity matrix. Shared by the monolithic build below and the
+// staged pipeline (internal/pipeline), where it is part of the auth
+// stage key.
+const AuthMinRegionPrevalence = 0.03
+
+// ElbowKMax and ElbowSeed pin the Fig. 1 sweep; the staged pipeline
+// keys the elbow artifact on both.
+const (
+	ElbowKMax = 15
+	ElbowSeed = 1
+)
+
+// SplitWorkers splits a resolved worker budget between the six-way
+// figure fan-out and each figure's interior pdist / k-sweep so
+// outer*inner never exceeds it: a knob of 4 runs four figures
+// concurrently with sequential interiors, a knob of 16 runs all six
+// with two workers each. The split depends only on the worker count,
+// never on scheduling.
+func SplitWorkers(workers int) (outer, inner int) {
+	w := parallel.Count(workers)
+	outer = w
+	if outer > 6 {
+		outer = 6
+	}
+	return outer, w / outer
+}
+
+// BuildPatternFeatures derives Table I and the anchored binary pattern
+// feature matrix from a mining run — the "matrices" step shared by
+// BuildFiguresWorkers and the staged pipeline.
+func BuildPatternFeatures(mined []RegionPatterns, minSupport float64) (*Table1, *encode.PatternMatrix, error) {
+	ranker := NewRanker(mined, 0)
+	t1 := &Table1{MinSupport: minSupport}
+	for _, rp := range mined {
+		t1.Rows = append(t1.Rows, Table1Row{
+			Region:   rp.Region,
+			Recipes:  rp.Recipes,
+			Top:      ranker.Top(rp.Patterns, 3),
+			Patterns: len(rp.Patterns),
+		})
+	}
+	regions, patternSets := PatternSets(mined)
+	pm, err := encode.BuildPatternMatrix(regions, AnchoredPatterns(patternSets), encode.Binary)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t1, pm, nil
+}
+
 // ElbowAnalysis runs the Fig. 1 experiment on the pattern feature matrix.
 // The k sweep uses every available core; see ElbowAnalysisWorkers.
 func ElbowAnalysis(pm *encode.PatternMatrix, kMax int, seed uint64) (*kmeans.ElbowCurve, error) {
@@ -210,37 +261,15 @@ func BuildFiguresWorkers(db *recipedb.DB, minSupport float64, method hac.Method,
 	if err != nil {
 		return nil, err
 	}
-	ranker := NewRanker(mined, 0)
-	t1 := &Table1{MinSupport: minSupport}
-	for _, rp := range mined {
-		t1.Rows = append(t1.Rows, Table1Row{
-			Region:   rp.Region,
-			Recipes:  rp.Recipes,
-			Top:      ranker.Top(rp.Patterns, 3),
-			Patterns: len(rp.Patterns),
-		})
-	}
-
-	regions, patternSets := PatternSets(mined)
-	pm, err := encode.BuildPatternMatrix(regions, AnchoredPatterns(patternSets), encode.Binary)
+	t1, pm, err := BuildPatternFeatures(mined, minSupport)
 	if err != nil {
 		return nil, err
 	}
-	// Split the resolved budget between the six-way outer fan-out and the
-	// inner fan-outs so outer*inner never exceeds it: a knob of 4 runs
-	// four figures concurrently with sequential interiors, a knob of 16
-	// runs all six with two workers each. The split depends only on the
-	// worker count, never on scheduling.
-	w := parallel.Count(workers)
-	outer := w
-	if outer > 6 {
-		outer = 6
-	}
-	inner := w / outer
+	outer, inner := SplitWorkers(workers)
 	figs := &Figures{Table1: t1, Patterns: pm, Mined: mined}
 	err = parallel.Do(outer,
 		func() (err error) {
-			figs.Elbow, err = ElbowAnalysisWorkers(pm, 15, 1, inner)
+			figs.Elbow, err = ElbowAnalysisWorkers(pm, ElbowKMax, ElbowSeed, inner)
 			return err
 		},
 		func() (err error) {
@@ -256,7 +285,7 @@ func BuildFiguresWorkers(db *recipedb.DB, minSupport float64, method hac.Method,
 			return err
 		},
 		func() (err error) {
-			am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: 0.03})
+			am, err := authenticity.Build(db, authenticity.Options{MinRegionPrevalence: AuthMinRegionPrevalence})
 			if err != nil {
 				return err
 			}

@@ -69,7 +69,7 @@ func BootstrapClaims(db *recipedb.DB, minSupport float64, iters int, seed uint64
 			return nil, err
 		}
 		// Authenticity tree.
-		am, err := authenticity.Build(boot, authenticity.Options{MinRegionPrevalence: 0.03})
+		am, err := authenticity.Build(boot, authenticity.Options{MinRegionPrevalence: AuthMinRegionPrevalence})
 		if err != nil {
 			return nil, err
 		}

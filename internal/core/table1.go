@@ -81,10 +81,3 @@ func (t *Table1) String() string {
 	_ = t.Render(&b)
 	return b.String()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,47 @@
+package distance
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// Condensed hides its observation count and condensed vector, so plain
+// gob encoding would silently lose them. The explicit pair serializes
+// both and validates the triangular length on decode; float64 values
+// round-trip bit-exactly, which warm-disk pipeline replays depend on.
+
+type condensedWire struct {
+	N int
+	D []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Condensed) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(condensedWire{N: c.n, D: c.d}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Condensed) GobDecode(data []byte) error {
+	var w condensedWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	// Cap n before the triangular product: a crafted stream with n
+	// near 2^32 would overflow n*(n-1)/2 and slip past the length
+	// check with an empty D slice.
+	if w.N < 0 || w.N > math.MaxInt32 || int64(len(w.D)) != int64(w.N)*int64(w.N-1)/2 {
+		return fmt.Errorf("distance: corrupt gob stream: n=%d with %d pairs", w.N, len(w.D))
+	}
+	c.n = w.N
+	c.d = w.D
+	if c.d == nil {
+		c.d = []float64{}
+	}
+	return nil
+}

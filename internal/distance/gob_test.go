@@ -1,0 +1,47 @@
+package distance
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestCondensedGobRoundTrip(t *testing.T) {
+	c := NewCondensed(4)
+	v := 0.0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			v += 0.77
+			c.Set(i, j, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		t.Fatal(err)
+	}
+	var got *Condensed
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != c.N() {
+		t.Fatalf("round trip changed n: got %d, want %d", got.N(), c.N())
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if got.At(i, j) != c.At(i, j) {
+				t.Errorf("(%d,%d): got %v, want %v", i, j, got.At(i, j), c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCondensedGobRejectsCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(condensedWire{N: 4, D: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var c Condensed
+	if err := c.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decode of mismatched length succeeded, want error")
+	}
+}

@@ -115,10 +115,3 @@ func intersect(a, b []int32) []int32 {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

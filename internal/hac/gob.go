@@ -1,0 +1,81 @@
+package hac
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Tree is a pointer graph with an unexported observation count, so plain
+// gob encoding would both miss the count and waste space on the node
+// structure. The explicit pair serializes the tree in linkage form — the
+// n-1 merges in scipy order plus the labels — and rebuilds the node
+// graph through BuildTree on decode. BuildTree is deterministic in the
+// merge list, so a decoded tree renders, cuts and serializes (Newick)
+// byte-identically to the original.
+
+type treeWire struct {
+	N      int
+	Labels []string
+	Merges []Merge
+}
+
+// merges reconstructs the linkage merge list from the node graph:
+// internal node n+i is the i-th merge.
+func (t *Tree) merges() ([]Merge, error) {
+	out := make([]Merge, t.n-1)
+	seen := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n == nil || n.IsLeaf() {
+			return nil
+		}
+		i := n.ID - t.n
+		if i < 0 || i >= len(out) {
+			return fmt.Errorf("hac: internal node id %d out of merge range for n=%d", n.ID, t.n)
+		}
+		out[i] = Merge{A: n.Left.ID, B: n.Right.ID, Height: n.Height, Size: n.Count}
+		seen++
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	if err := walk(t.Root); err != nil {
+		return nil, err
+	}
+	if seen != len(out) {
+		return nil, fmt.Errorf("hac: tree has %d merges, want %d", seen, len(out))
+	}
+	return out, nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tree) GobEncode() ([]byte, error) {
+	ms, err := t.merges()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(treeWire{N: t.n, Labels: t.Labels, Merges: ms}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(data []byte) error {
+	var w treeWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.N < 1 || len(w.Merges) != w.N-1 {
+		return fmt.Errorf("hac: corrupt gob stream: n=%d with %d merges", w.N, len(w.Merges))
+	}
+	nt, err := BuildTree(&Linkage{N: w.N, Merges: w.Merges}, w.Labels)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,73 @@
+package hac
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"cuisines/internal/distance"
+)
+
+// gobTree builds a small five-leaf tree for round-trip tests.
+func gobTree(t *testing.T) *Tree {
+	t.Helper()
+	d := distance.NewCondensed(5)
+	vals := []float64{1, 4, 9, 2, 8, 3, 7, 5, 6, 10}
+	k := 0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			d.Set(i, j, vals[k])
+			k++
+		}
+	}
+	lk, err := Cluster(d, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildTree(lk, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestTreeGobRoundTrip(t *testing.T) {
+	tree := gobTree(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tree); err != nil {
+		t.Fatal(err)
+	}
+	var got *Tree
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != tree.N() {
+		t.Fatalf("round trip changed n: got %d, want %d", got.N(), tree.N())
+	}
+	if got.Newick() != tree.Newick() {
+		t.Errorf("Newick changed:\n got %s\nwant %s", got.Newick(), tree.Newick())
+	}
+	if got.Render() != tree.Render() {
+		t.Errorf("Render changed after round trip")
+	}
+	// The cophenetic matrix exercises heights and the full topology.
+	co, cn := tree.Cophenetic(), got.Cophenetic()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if co.At(i, j) != cn.At(i, j) {
+				t.Errorf("cophenetic (%d,%d): got %v, want %v", i, j, cn.At(i, j), co.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTreeGobRejectsCorruptMergeCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(treeWire{N: 5, Merges: []Merge{{A: 0, B: 1, Height: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	var tree Tree
+	if err := tree.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decode with missing merges succeeded, want error")
+	}
+}

@@ -187,17 +187,3 @@ func Cluster(d *distance.Condensed, method Method) (*Linkage, error) {
 	}
 	return lk, nil
 }
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}

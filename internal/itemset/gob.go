@@ -1,0 +1,32 @@
+package itemset
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Set keeps its items unexported to protect the canonical-order
+// invariant, so plain gob encoding would silently drop them. The
+// GobEncoder/GobDecoder pair serializes the item slice explicitly; the
+// artifact store (internal/artifact) persists mined patterns through it.
+
+// GobEncode implements gob.GobEncoder.
+func (s Set) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.items); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. Items written by GobEncode are
+// already canonical, but the decoder re-canonicalizes through NewSet so
+// a hand-crafted or corrupted stream cannot break the Set invariant.
+func (s *Set) GobDecode(data []byte) error {
+	var items []Item
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&items); err != nil {
+		return err
+	}
+	*s = NewSet(items...)
+	return nil
+}

@@ -1,0 +1,51 @@
+package itemset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestSetGobRoundTrip(t *testing.T) {
+	sets := []Set{
+		{},
+		NewSet(NewItem("salt", Ingredient)),
+		NewSet(
+			NewItem("soy sauce", Ingredient),
+			NewItem("heat", Process),
+			NewItem("wok", Utensil),
+		),
+	}
+	for _, s := range sets {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatalf("encode %v: %v", s, err)
+		}
+		var got Set
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+			t.Fatalf("decode %v: %v", s, err)
+		}
+		if got.Key() != s.Key() || got.Len() != s.Len() {
+			t.Errorf("round trip changed set: got %v, want %v", got, s)
+		}
+	}
+}
+
+func TestPatternGobRoundTrip(t *testing.T) {
+	p := Pattern{
+		Items:   NewSet(NewItem("rice", Ingredient), NewItem("boil", Process)),
+		Support: 0.312345678912345,
+		Count:   421,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	var got Pattern
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Items.Key() != p.Items.Key() || got.Support != p.Support || got.Count != p.Count {
+		t.Errorf("round trip changed pattern: got %+v, want %+v", got, p)
+	}
+}

@@ -1,0 +1,49 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// Dense keeps its dimensions and backing slice unexported, so plain gob
+// encoding would silently produce an empty matrix. The explicit
+// GobEncoder/GobDecoder pair round-trips the exact float64 bit patterns
+// (gob encodes floats via math.Float64bits), which the artifact store
+// relies on for byte-identical warm-disk pipeline replays.
+
+type denseWire struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Dense) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(denseWire{Rows: m.rows, Cols: m.cols, Data: m.data}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Dense) GobDecode(data []byte) error {
+	var w denseWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	// Cap each dimension before multiplying: a crafted stream with
+	// Rows=Cols=1<<32 would overflow the product to 0 and slip past
+	// the length check with an empty Data slice.
+	if w.Rows < 0 || w.Cols < 0 || w.Rows > math.MaxInt32 || w.Cols > math.MaxInt32 ||
+		int64(len(w.Data)) != int64(w.Rows)*int64(w.Cols) {
+		return fmt.Errorf("matrix: corrupt gob stream: %dx%d with %d values", w.Rows, w.Cols, len(w.Data))
+	}
+	m.rows, m.cols = w.Rows, w.Cols
+	m.data = w.Data
+	if m.data == nil {
+		m.data = []float64{}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func TestDenseGobRoundTrip(t *testing.T) {
+	m := NewDense(3, 2)
+	vals := []float64{0.1, -2.5, math.Pi, 1e-300, 0, 42}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			m.Set(i, j, vals[i*2+j])
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var got *Dense
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 3 || got.Cols() != 2 {
+		t.Fatalf("round trip changed shape: %dx%d", got.Rows(), got.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Errorf("(%d,%d): got %v, want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDenseGobRejectsCorruptShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(denseWire{Rows: 2, Cols: 2, Data: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	var m Dense
+	if err := m.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decode of mismatched shape succeeded, want error")
+	}
+}

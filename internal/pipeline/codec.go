@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cuisines/internal/artifact"
+	"cuisines/internal/authenticity"
+	"cuisines/internal/core"
+	"cuisines/internal/distance"
+	"cuisines/internal/encode"
+	"cuisines/internal/kmeans"
+	"cuisines/internal/recipedb"
+)
+
+// Stage artifacts are serialized with gob. Every type that hides state
+// behind unexported fields (recipedb.DB, itemset.Set, matrix.Dense,
+// distance.Condensed, hac.Tree) implements GobEncoder/GobDecoder, so
+// the artifacts below round-trip faithfully — float64 values bit-exact,
+// slices in order — which is what keeps warm-disk replays byte-identical
+// to cold runs. Codec versions are part of both the disk header and the
+// file name; bump a version whenever its encoded shape changes and old
+// files are simply ignored.
+
+// gobCodec is an artifact.Codec over one concrete Go type.
+type gobCodec[T any] struct {
+	kind    string
+	version int
+}
+
+func (c gobCodec[T]) Kind() string { return c.kind }
+func (c gobCodec[T]) Version() int { return c.version }
+
+func (c gobCodec[T]) Encode(w io.Writer, v any) error {
+	t, ok := v.(T)
+	if !ok {
+		return fmt.Errorf("pipeline: %s artifact is %T, want %T", c.kind, v, t)
+	}
+	return gob.NewEncoder(w).Encode(t)
+}
+
+func (c gobCodec[T]) Decode(r io.Reader) (any, error) {
+	var t T
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// PatternFeatures is the matrices-stage artifact: Table I and the
+// pattern feature matrix, both derived from one mining run.
+type PatternFeatures struct {
+	Table1 *core.Table1
+	Matrix *encode.PatternMatrix
+}
+
+// The stage codecs. Kind strings are the stage names reported by
+// cachestats and used in artifact file names.
+var (
+	corpusCodec   = gobCodec[*recipedb.DB]{kind: "corpus", version: 1}
+	mineCodec     = gobCodec[[]core.RegionPatterns]{kind: "mine", version: 1}
+	matricesCodec = gobCodec[*PatternFeatures]{kind: "matrices", version: 1}
+	authCodec     = gobCodec[*authenticity.Matrix]{kind: "auth", version: 1}
+	pdistCodec    = gobCodec[*distance.Condensed]{kind: "pdist", version: 1}
+	geodistCodec  = gobCodec[*distance.Condensed]{kind: "geodist", version: 1}
+	treeCodec     = gobCodec[*core.CuisineTree]{kind: "tree", version: 1}
+	elbowCodec    = gobCodec[*kmeans.ElbowCurve]{kind: "elbow", version: 1}
+	validateCodec = gobCodec[*core.Validation]{kind: "validate", version: 1}
+)
+
+// stage resolves one typed stage through the store: memory tier, disk
+// tier, then compute, single-flight per key.
+func stage[T any](s *artifact.Store, key string, codec gobCodec[T], compute func() (T, error)) (T, error) {
+	v, err := s.GetOrCompute(key, codec, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

@@ -1,0 +1,306 @@
+// Package pipeline decomposes the paper's evaluation into an explicit
+// stage graph with per-stage, content-addressed artifact caching
+// (DESIGN.md §8). Where core.BuildFiguresWorkers runs the pipeline as
+// one opaque call, this package names each edge of the dataflow —
+//
+//	corpus(seed, scale)
+//	  └─ mine(corpus, minSupport)
+//	       └─ matrices(mine)                → Table I + pattern features
+//	            ├─ elbow(matrices)          → Fig. 1
+//	            └─ pdist(matrices, metric)  → Figs. 2-4 distances
+//	                 └─ tree(pdist, linkage)
+//	  └─ auth(corpus)                       → Fig. 5 features
+//	       └─ pdist(auth) └─ tree(...)
+//	  └─ geodist(corpus)                    → Fig. 6 distances
+//	       └─ tree(...)
+//	all five trees └─ validate(trees)       → Sec. VII
+//
+// — and resolves every stage through an artifact.Store. Stage keys are
+// stable hashes of the stage's parameters plus its inputs' keys, so
+// two analyses that share a prefix of the graph (same corpus and
+// mining run, different linkage or figure) share the cached upstream
+// artifacts, and a disk-backed store survives restarts.
+//
+// Invariant carried over from the parallel layer (DESIGN.md §3):
+// outputs are byte-identical to the sequential single-shot build for
+// any worker count and any cache state — cold, warm-memory or
+// warm-disk. Stages are pure functions of their inputs, serialization
+// round-trips exactly, and worker counts never enter a key.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"cuisines/internal/artifact"
+	"cuisines/internal/authenticity"
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/distance"
+	"cuisines/internal/geo"
+	"cuisines/internal/hac"
+	"cuisines/internal/kmeans"
+	"cuisines/internal/parallel"
+	"cuisines/internal/recipedb"
+)
+
+// Params are the analysis parameters after canonicalization. Workers
+// never enters an artifact key: parallelism changes how fast the
+// answer arrives, never the answer.
+type Params struct {
+	Seed       uint64
+	Scale      float64
+	MinSupport float64
+	Method     hac.Method
+	Workers    int
+}
+
+// Result is one full run of the paper's evaluation in pipeline form.
+type Result struct {
+	DB         *recipedb.DB
+	Figures    *core.Figures
+	Validation *core.Validation
+}
+
+// Pipeline executes the stage graph against one artifact store.
+// Pipelines sharing a store share every cached stage.
+type Pipeline struct {
+	store *artifact.Store
+}
+
+// New builds a Pipeline over the store; nil means a fresh private
+// memory-only store.
+func New(store *artifact.Store) *Pipeline {
+	if store == nil {
+		store = artifact.NewStore(artifact.Options{})
+	}
+	return &Pipeline{store: store}
+}
+
+// Store returns the pipeline's artifact store (for stats inspection).
+func (p *Pipeline) Store() *artifact.Store { return p.store }
+
+// Run executes the full graph from a generated corpus.
+func (p *Pipeline) Run(pr Params) (*Result, error) {
+	pr = withDefaults(pr)
+	corpusKey := artifact.Key("corpus",
+		fmt.Sprintf("seed=%d", pr.Seed),
+		fmt.Sprintf("scale=%g", pr.Scale))
+	db, err := stage(p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
+		return corpus.Generate(corpus.Config{Seed: pr.Seed, Scale: pr.Scale, Workers: pr.Workers})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.runFrom(db, corpusKey, pr)
+}
+
+// RunOn executes the graph on an externally supplied database (the
+// CSV/JSONL ingestion path). The corpus stage key is a content hash of
+// the recipes, so identical datasets share downstream artifacts no
+// matter how they arrived.
+func (p *Pipeline) RunOn(db *recipedb.DB, pr Params) (*Result, error) {
+	pr = withDefaults(pr)
+	corpusKey := artifact.Key("dataset", ContentKey(db))
+	stored, err := stage(p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
+		return db, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.runFrom(stored, corpusKey, pr)
+}
+
+func withDefaults(pr Params) Params {
+	if pr.Seed == 0 {
+		pr.Seed = corpus.DefaultSeed
+	}
+	if pr.Scale <= 0 {
+		pr.Scale = 1
+	}
+	if pr.MinSupport <= 0 {
+		pr.MinSupport = core.DefaultMinSupport
+	}
+	return pr
+}
+
+// runFrom executes every stage downstream of the corpus. The stage
+// fan-out mirrors core.BuildFiguresWorkers: the six independent figure
+// chains run concurrently with the worker budget split between the
+// outer fan-out and each chain's inner pdist / k-sweep, so total
+// concurrency stays bounded by Workers rather than multiplying.
+func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Result, error) {
+	mineKey := artifact.Key("mine", corpusKey, fmt.Sprintf("support=%g", pr.MinSupport))
+	mined, err := stage(p.store, mineKey, mineCodec, func() ([]core.RegionPatterns, error) {
+		return core.MineRegionsWorkers(db, pr.MinSupport, pr.Workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	matKey := artifact.Key("matrices", mineKey)
+	feats, err := stage(p.store, matKey, matricesCodec, func() (*PatternFeatures, error) {
+		t1, pm, err := core.BuildPatternFeatures(mined, pr.MinSupport)
+		if err != nil {
+			return nil, err
+		}
+		return &PatternFeatures{Table1: t1, Matrix: pm}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if feats.Matrix.X.Rows() < 2 {
+		return nil, fmt.Errorf("pipeline: need at least two cuisines, have %d", feats.Matrix.X.Rows())
+	}
+
+	// Stage keys for the six figure chains, all derivable upfront.
+	authKey := artifact.Key("auth", corpusKey, fmt.Sprintf("minprev=%g", core.AuthMinRegionPrevalence))
+	authPdistKey := artifact.Key("pdist", authKey, distance.Euclidean.String())
+	geodistKey := artifact.Key("geodist", corpusKey)
+	elbowKey := artifact.Key("elbow", matKey, fmt.Sprintf("kmax=%d", core.ElbowKMax), fmt.Sprintf("seed=%d", core.ElbowSeed))
+	patternPdistKey := func(m distance.Metric) string {
+		return artifact.Key("pdist", matKey, m.String())
+	}
+	treeKey := func(pdistKey string, method hac.Method, name string) string {
+		return artifact.Key("tree", pdistKey, method.String(), name)
+	}
+	keyEuc := treeKey(patternPdistKey(distance.Euclidean), core.EuclideanLinkage, "patterns-euclidean")
+	keyCos := treeKey(patternPdistKey(distance.Cosine), pr.Method, "patterns-cosine")
+	keyJac := treeKey(patternPdistKey(distance.Jaccard), pr.Method, "patterns-jaccard")
+	keyAuth := treeKey(authPdistKey, pr.Method, "authenticity-euclidean")
+	keyGeo := treeKey(geodistKey, pr.Method, "geographic")
+
+	outer, inner := core.SplitWorkers(pr.Workers)
+	figs := &core.Figures{Table1: feats.Table1, Patterns: feats.Matrix, Mined: mined}
+	patternTree := func(metric distance.Metric, method hac.Method, key string) (*core.CuisineTree, error) {
+		d, err := stage(p.store, patternPdistKey(metric), pdistCodec, func() (*distance.Condensed, error) {
+			return distance.PdistWorkers(feats.Matrix.X, metric, inner), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return stage(p.store, key, treeCodec, func() (*core.CuisineTree, error) {
+			return linkTree("patterns-"+metric.String(), d, feats.Matrix.Regions, metric, method)
+		})
+	}
+	err = parallel.Do(outer,
+		func() (err error) {
+			figs.Elbow, err = stage(p.store, elbowKey, elbowCodec, func() (*kmeans.ElbowCurve, error) {
+				return kmeans.Elbow(feats.Matrix.X, core.ElbowKMax, kmeans.Options{Seed: core.ElbowSeed, Workers: inner})
+			})
+			return err
+		},
+		func() (err error) {
+			figs.Euclidean, err = patternTree(distance.Euclidean, core.EuclideanLinkage, keyEuc)
+			return err
+		},
+		func() (err error) {
+			figs.Cosine, err = patternTree(distance.Cosine, pr.Method, keyCos)
+			return err
+		},
+		func() (err error) {
+			figs.Jaccard, err = patternTree(distance.Jaccard, pr.Method, keyJac)
+			return err
+		},
+		func() (err error) {
+			am, err := stage(p.store, authKey, authCodec, func() (*authenticity.Matrix, error) {
+				return authenticity.Build(db, authenticity.Options{MinRegionPrevalence: core.AuthMinRegionPrevalence})
+			})
+			if err != nil {
+				return err
+			}
+			figs.AuthMat = am
+			d, err := stage(p.store, authPdistKey, pdistCodec, func() (*distance.Condensed, error) {
+				return distance.PdistWorkers(am.FeatureMatrix(), distance.Euclidean, inner), nil
+			})
+			if err != nil {
+				return err
+			}
+			figs.Auth, err = stage(p.store, keyAuth, treeCodec, func() (*core.CuisineTree, error) {
+				return linkTree("authenticity-euclidean", d, am.Regions, distance.Euclidean, pr.Method)
+			})
+			return err
+		},
+		func() (err error) {
+			d, err := stage(p.store, geodistKey, geodistCodec, func() (*distance.Condensed, error) {
+				return geo.DistanceMatrix(db.Regions())
+			})
+			if err != nil {
+				return err
+			}
+			figs.Geo, err = stage(p.store, keyGeo, treeCodec, func() (*core.CuisineTree, error) {
+				// Metric is a label only; the distances are haversine km
+				// (see core.GeographicTree).
+				return linkTree("geographic", d, db.Regions(), distance.Euclidean, pr.Method)
+			})
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	valKey := artifact.Key("validate", keyEuc, keyCos, keyJac, keyAuth, keyGeo)
+	v, err := stage(p.store, valKey, validateCodec, func() (*core.Validation, error) {
+		return core.Validate(figs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{DB: db, Figures: figs, Validation: v}, nil
+}
+
+// linkTree is the tree stage: condensed distances -> linkage ->
+// dendrogram, the tail of core.PatternTreeWorkers.
+func linkTree(name string, d *distance.Condensed, labels []string, metric distance.Metric, method hac.Method) (*core.CuisineTree, error) {
+	lk, err := hac.Cluster(d, method)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hac.BuildTree(lk, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &core.CuisineTree{
+		Name:      name,
+		Tree:      tree,
+		Distances: d,
+		Metric:    metric,
+		Linkage:   method,
+	}, nil
+}
+
+// ContentKey hashes a database's full content — recipes in stored
+// order, every field length-prefixed — so externally supplied datasets
+// get content-addressed corpus keys: the same CSV uploaded twice (or
+// the same data arriving as CSV and JSONL) shares one graph prefix.
+func ContentKey(db *recipedb.DB) string {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		io.WriteString(h, s)
+	}
+	writeList := func(ss []string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
+		h.Write(n[:])
+		for _, s := range ss {
+			writeStr(s)
+		}
+	}
+	for i := 0; i < db.Len(); i++ {
+		r := db.Recipe(i)
+		writeStr(r.ID)
+		writeStr(r.Name)
+		writeStr(r.Region)
+		writeList(r.Ingredients)
+		writeList(r.Processes)
+		writeList(r.Utensils)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

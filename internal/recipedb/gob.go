@@ -1,0 +1,38 @@
+package recipedb
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// DB hides its recipe slice and region index, so plain gob encoding
+// would silently produce an empty database. The explicit pair
+// serializes the recipes in stored order and rebuilds the DB through
+// New on decode, which re-derives the region index and re-runs
+// validation — a corrupted stream fails the decode instead of
+// producing a structurally broken database. Recipe order is preserved,
+// so every order-dependent derivation (Regions, RegionDataset, Stats)
+// is identical after a round trip.
+
+// GobEncode implements gob.GobEncoder.
+func (db *DB) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db.recipes); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (db *DB) GobDecode(data []byte) error {
+	var recipes []Recipe
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recipes); err != nil {
+		return err
+	}
+	ndb, err := New(recipes)
+	if err != nil {
+		return err
+	}
+	*db = *ndb
+	return nil
+}

@@ -1,0 +1,60 @@
+package recipedb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestDBGobRoundTrip(t *testing.T) {
+	db, err := New([]Recipe{
+		{ID: "r1", Name: "Stew", Region: "French", Ingredients: []string{"beef", "wine"}, Processes: []string{"simmer"}, Utensils: []string{"pot"}},
+		{ID: "r2", Name: "Fry", Region: "Chinese", Ingredients: []string{"soy sauce"}, Processes: []string{"heat"}},
+		{ID: "r3", Name: "Salad", Region: "French", Ingredients: []string{"lettuce"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db); err != nil {
+		t.Fatal(err)
+	}
+	var got *DB
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip changed size: got %d, want %d", got.Len(), db.Len())
+	}
+	gr, wr := got.Regions(), db.Regions()
+	if len(gr) != len(wr) {
+		t.Fatalf("round trip changed regions: got %v, want %v", gr, wr)
+	}
+	for i := range wr {
+		if gr[i] != wr[i] {
+			t.Fatalf("round trip changed regions: got %v, want %v", gr, wr)
+		}
+	}
+	for i := 0; i < db.Len(); i++ {
+		a, b := got.Recipe(i), db.Recipe(i)
+		if a.ID != b.ID || a.Name != b.Name || a.Region != b.Region {
+			t.Errorf("recipe %d changed: got %+v, want %+v", i, a, b)
+		}
+	}
+	if got.RegionSize("French") != 2 {
+		t.Errorf("region index not rebuilt: French has %d recipes, want 2", got.RegionSize("French"))
+	}
+}
+
+func TestDBGobRejectsInvalidRecipes(t *testing.T) {
+	// Encode a raw recipe slice with a validation violation: GobDecode
+	// must reject it rather than construct a broken DB.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode([]Recipe{{ID: "x", Region: "", Ingredients: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	var db DB
+	if err := db.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decode of invalid recipe succeeded, want error")
+	}
+}

@@ -86,14 +86,11 @@ type DB struct {
 
 // New builds a DB from recipes, validating each. The slice is copied.
 func New(recipes []Recipe) (*DB, error) {
-	db := &DB{
-		recipes:  make([]Recipe, len(recipes)),
-		byRegion: make(map[string][]int),
-	}
-	copy(db.recipes, recipes)
-	seen := make(map[string]bool, len(recipes))
-	for i := range db.recipes {
-		r := &db.recipes[i]
+	cp := make([]Recipe, len(recipes))
+	copy(cp, recipes)
+	seen := make(map[string]bool, len(cp))
+	for i := range cp {
+		r := &cp[i]
 		if err := r.Validate(); err != nil {
 			return nil, err
 		}
@@ -101,14 +98,28 @@ func New(recipes []Recipe) (*DB, error) {
 			return nil, fmt.Errorf("recipedb: duplicate recipe ID %s", r.ID)
 		}
 		seen[r.ID] = true
-		db.byRegion[r.Region] = append(db.byRegion[r.Region], i)
+	}
+	return newValidated(cp), nil
+}
+
+// newValidated builds a DB from a recipe slice the caller owns and has
+// already validated and de-duplicated — the codec readers check every
+// row as they parse (so errors can name the offending line) and must
+// not pay for a second full pass here.
+func newValidated(recipes []Recipe) *DB {
+	db := &DB{
+		recipes:  recipes,
+		byRegion: make(map[string][]int),
+	}
+	for i := range db.recipes {
+		db.byRegion[db.recipes[i].Region] = append(db.byRegion[db.recipes[i].Region], i)
 	}
 	db.regions = make([]string, 0, len(db.byRegion))
 	for region := range db.byRegion {
 		db.regions = append(db.regions, region)
 	}
 	sort.Strings(db.regions)
-	return db, nil
+	return db
 }
 
 // Len returns the total number of recipes.

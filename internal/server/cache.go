@@ -21,6 +21,11 @@ type Runner func(cuisines.Options) (*cuisines.Analysis, error)
 // with LRU eviction, and lookups are deduplicated single-flight style:
 // any number of concurrent Gets for the same key share exactly one
 // pipeline run.
+//
+// The cache sits in front of the per-stage artifact store: an analysis
+// miss here still reuses every upstream stage artifact the engine
+// already holds (same corpus and mining run, different linkage), so an
+// eviction or a near-miss costs only the stages that actually differ.
 type Cache struct {
 	run Runner
 	max int
@@ -28,15 +33,23 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[cuisines.Options]*entry
 	lru     *list.List // of *entry; front = most recently used
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	inFlightJoins uint64
 }
 
 // entry is one cached (or in-flight) analysis. ready is closed once a
 // and err are final; waiters block on it outside the cache lock, so a
-// slow pipeline run never stalls hits on other keys.
+// slow pipeline run never stalls hits on other keys. done distinguishes
+// a finished entry from an in-flight one under the cache lock (for the
+// hit vs in-flight-join counters).
 type entry struct {
 	key   cuisines.Options
 	elem  *list.Element
 	ready chan struct{}
+	done  bool
 	a     *cuisines.Analysis
 	err   error
 }
@@ -88,11 +101,17 @@ func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		if e.done {
+			c.hits++
+		} else {
+			c.inFlightJoins++
+		}
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
 		return e.a, e.err
 	}
+	c.misses++
 	e := &entry{key: key, ready: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
@@ -103,20 +122,34 @@ func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
 		ev := back.Value.(*entry)
 		c.lru.Remove(back)
 		delete(c.entries, ev.key)
+		c.evictions++
 	}
 	c.mu.Unlock()
 
 	e.a, e.err = c.run(runOpts)
-	close(e.ready)
-	if e.err != nil {
-		c.mu.Lock()
-		if c.entries[key] == e { // not already evicted
-			c.lru.Remove(e.elem)
-			delete(c.entries, key)
-		}
-		c.mu.Unlock()
+	c.mu.Lock()
+	e.done = true
+	if e.err != nil && c.entries[key] == e { // failed: forget, allow retry
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
 	}
+	c.mu.Unlock()
+	close(e.ready)
 	return e.a, e.err
+}
+
+// Stats returns the cache's counters and current occupancy.
+func (c *Cache) Stats() cuisines.AnalysisCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cuisines.AnalysisCacheStats{
+		Size:          c.lru.Len(),
+		Capacity:      c.max,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		InFlightJoins: c.inFlightJoins,
+	}
 }
 
 // Len reports how many analyses are cached or in flight.

@@ -19,7 +19,13 @@ type Config struct {
 	// CacheSize bounds the number of distinct analyses held (LRU);
 	// <= 0 means DefaultCacheSize.
 	CacheSize int
-	// Runner overrides the pipeline entry point; nil means cuisines.Run.
+	// Engine executes analysis-cache misses through the staged
+	// pipeline, sharing per-stage artifacts across analyses (and, with
+	// a cache dir, across restarts). Nil means a fresh in-memory
+	// engine. Ignored when Runner is set.
+	Engine *cuisines.Engine
+	// Runner overrides the pipeline entry point entirely (tests use
+	// counting or stubbed runners); nil means Engine.Run.
 	Runner Runner
 }
 
@@ -28,19 +34,35 @@ type Config struct {
 // /v1/newick/{figure}, which is plain text so that its bytes equal
 // Analysis.Newick exactly.
 type Server struct {
-	base  cuisines.Options
-	cache *Cache
-	mux   *http.ServeMux
+	base   cuisines.Options
+	cache  *Cache
+	engine *cuisines.Engine // nil when a custom Runner bypasses the stage graph
+	mux    *http.ServeMux
 }
 
 // New builds a Server with its routes registered.
 func New(cfg Config) *Server {
+	engine := cfg.Engine
+	run := cfg.Runner
+	if run == nil {
+		if engine == nil {
+			engine = cuisines.NewEngine(cuisines.EngineConfig{})
+		}
+		run = engine.Run
+	} else {
+		// A custom Runner bypasses the stage graph entirely; reporting
+		// a bystander engine's counters would misdescribe the serving
+		// path, so cachestats shows stages only when the engine serves.
+		engine = nil
+	}
 	s := &Server{
-		base:  cfg.Base,
-		cache: NewCache(cfg.CacheSize, cfg.Runner),
+		base:   cfg.Base,
+		cache:  NewCache(cfg.CacheSize, run),
+		engine: engine,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/cachestats", s.handleCacheStats)
 	mux.HandleFunc("GET /v1/table", s.with(s.handleTable))
 	mux.HandleFunc("GET /v1/dendrogram/{figure}", s.withFigure(s.handleDendrogram))
 	mux.HandleFunc("GET /v1/newick/{figure}", s.withFigure(s.handleNewick))
@@ -150,6 +172,24 @@ func (s *Server) withFigure(h figureHandler) http.HandlerFunc {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, cuisines.HealthResponse{Status: "ok", Cached: s.cache.Len()})
+}
+
+// CacheStats reports the analysis cache counters plus the engine's
+// per-stage artifact counters (empty when a custom Runner bypasses the
+// stage graph). The daemon logs the same numbers at shutdown.
+func (s *Server) CacheStats() cuisines.CacheStatsResponse {
+	resp := cuisines.CacheStatsResponse{
+		Analyses: s.cache.Stats(),
+		Stages:   map[string]cuisines.StageCacheStats{},
+	}
+	if s.engine != nil {
+		resp.Stages = s.engine.CacheStats()
+	}
+	return resp
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.CacheStats())
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
