@@ -20,6 +20,7 @@ package cuisines
 //	A4 BenchmarkFIHCAblation           FIHC vs pdist+linkage
 //	P1-P4 ...Parallel                  worker-count sweeps (DESIGN.md §3)
 //	P5 BenchmarkStagedReuse            cold vs staged-warm vs disk load (§8)
+//	P6 BenchmarkMinerBackends          backend × support × scale (§9)
 //
 // Benches run at a tenth of the full corpus so an iteration stays in the
 // tens-of-milliseconds range; EXPERIMENTS.md records the full-scale
@@ -44,6 +45,7 @@ import (
 	"cuisines/internal/hac"
 	"cuisines/internal/itemset"
 	"cuisines/internal/matrix"
+	"cuisines/internal/miner"
 	"cuisines/internal/recipedb"
 	"cuisines/internal/rng"
 	"cuisines/internal/treecmp"
@@ -388,9 +390,66 @@ func BenchmarkStagedReuse(b *testing.B) {
 	})
 }
 
+// P6 — mining backend selection (DESIGN.md §9): every registered
+// backend over the whole corpus fan-out, per support threshold and
+// corpus scale, sequential (workers=1) so the numbers compare the
+// algorithms rather than the scheduler. All backends share the same
+// per-region bitset indexes and emit byte-identical patterns; this
+// sweep is what justifies miner.Default — the README's "Choosing a
+// mining backend" table is produced from it.
+func BenchmarkMinerBackends(b *testing.B) {
+	dbs := map[float64]*recipedb.DB{}
+	dbFor := func(b *testing.B, scale float64) *recipedb.DB {
+		b.Helper()
+		if db, ok := dbs[scale]; ok {
+			return db
+		}
+		db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbs[scale] = db
+		return db
+	}
+	for _, scale := range []float64{benchScale, 1} {
+		for _, m := range miner.All() {
+			for _, sup := range []float64{0.35, 0.2} {
+				name := fmt.Sprintf("scale=%g/%s/sup=%s", scale, m.Name(), formatSup(sup))
+				b.Run(name, func(b *testing.B) {
+					if scale > benchScale && testing.Short() {
+						// The full-corpus cases exist for the README's
+						// default-selection table; the CI smoke run
+						// (-short) keeps to bench scale like every other
+						// bench in this file.
+						b.Skip("full-scale sweep skipped in -short mode")
+					}
+					db := dbFor(b, scale)
+					b.ResetTimer()
+					var patterns int
+					for i := 0; i < b.N; i++ {
+						mined, err := core.MineRegionsWith(db, sup, 1, m)
+						if err != nil {
+							b.Fatal(err)
+						}
+						patterns = 0
+						for _, rp := range mined {
+							patterns += len(rp.Patterns)
+						}
+					}
+					b.ReportMetric(float64(patterns), "patterns")
+				})
+			}
+		}
+	}
+}
+
 // A1 — miner ablation: the three miners on the same region at several
-// thresholds. FP-Growth's advantage grows as support drops, reproducing
-// the efficiency argument of the paper's reference [6].
+// thresholds. Over the shared bitset index the historical ranking is
+// inverted: Eclat's bitmap intersections are fastest and Apriori's
+// bitmap-counted candidates stay nearly flat as support drops, while
+// FP-Growth pays tree-construction overhead that grows with the
+// frequent vocabulary (see the P6 table in README.md — the basis for
+// miner.Default).
 func BenchmarkMinerAblation(b *testing.B) {
 	f := getFixture(b)
 	ds := f.db.RegionDataset("Italian")
@@ -416,14 +475,7 @@ func BenchmarkMinerAblation(b *testing.B) {
 }
 
 func formatSup(s float64) string {
-	switch s {
-	case 0.3:
-		return "0.30"
-	case 0.2:
-		return "0.20"
-	default:
-		return "0.15"
-	}
+	return fmt.Sprintf("%.2f", s)
 }
 
 // A2 — linkage ablation: geography fit per linkage method on the

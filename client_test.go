@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"cuisines"
+	"cuisines/internal/miner"
 	"cuisines/internal/server"
 )
 
@@ -175,8 +176,11 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 
 	st, err := c.Stats(ctx)
-	if err != nil || !reflect.DeepEqual(st, ref.Stats()) {
-		t.Fatalf("stats differ:\nwire:  %+v\nlocal: %+v (%v)", st, ref.Stats(), err)
+	if err != nil || !reflect.DeepEqual(st.Stats, ref.Stats()) {
+		t.Fatalf("stats differ:\nwire:  %+v\nlocal: %+v (%v)", st.Stats, ref.Stats(), err)
+	}
+	if want := miner.Default.Name(); st.Miner != want {
+		t.Fatalf("stats echoed miner %q, want default %q", st.Miner, want)
 	}
 }
 

@@ -18,11 +18,13 @@
 //	curl localhost:8372/v1/cachestats
 //
 // Requests may select a different analysis with seed=, scale=, support=
-// and linkage= query parameters; each distinct combination is computed
-// once and kept in an LRU cache. Underneath it, the staged pipeline
-// caches per-stage artifacts, so analyses that share a corpus and
-// mining run (different linkage, different figure) share that work;
-// with -cache-dir the artifacts persist across restarts. The daemon
+// and linkage= query parameters (and a different mining backend with
+// miner=, which changes speed but never output); each distinct
+// combination is computed once and kept in an LRU cache. Underneath
+// it, the staged pipeline caches per-stage artifacts, so analyses
+// that share a corpus and mining run (different linkage, different
+// figure) share that work; with -cache-dir the artifacts persist
+// across restarts. The daemon
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
 // first and logging its cache counters.
 package main
@@ -41,6 +43,7 @@ import (
 	"cuisines"
 	"cuisines/internal/core"
 	"cuisines/internal/corpus"
+	"cuisines/internal/miner"
 	"cuisines/internal/server"
 )
 
@@ -58,8 +61,13 @@ func main() {
 		seed      = flag.Uint64("seed", corpus.DefaultSeed, "default corpus generator seed")
 		support   = flag.Float64("support", core.DefaultMinSupport, "default pattern-mining support threshold")
 		linkage   = flag.String("linkage", core.DefaultLinkage.String(), "default linkage method")
+		minerName = flag.String("miner", miner.Default.Name(), "frequent-itemset mining backend (apriori|eclat|fpgrowth; output is identical, only speed differs)")
 	)
 	flag.Parse()
+
+	if _, err := miner.Parse(*minerName); err != nil {
+		log.Fatal(err)
+	}
 
 	if *cacheDir != "" {
 		// Fail fast on a misconfigured flag; individual artifact files
@@ -78,6 +86,7 @@ func main() {
 			MinSupport: *support,
 			Linkage:    *linkage,
 			Workers:    *workers,
+			Miner:      *minerName,
 		},
 		CacheSize: *cacheSize,
 		Engine:    engine,

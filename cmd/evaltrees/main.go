@@ -89,7 +89,7 @@ func main() {
 
 	if *bootstrap > 0 {
 		fmt.Printf("\nBootstrap stability (%d replicates):\n", *bootstrap)
-		st, err := core.BootstrapClaims(db, *support, *bootstrap, *seed)
+		st, err := core.BootstrapClaimsWorkers(db, *support, *bootstrap, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -33,6 +33,7 @@ import (
 	"cuisines/internal/corpus"
 	"cuisines/internal/distance"
 	"cuisines/internal/hac"
+	"cuisines/internal/miner"
 	"cuisines/internal/pipeline"
 	"cuisines/internal/recipedb"
 )
@@ -55,21 +56,31 @@ type Options struct {
 	// uses Ward (see internal/core.EuclideanLinkage).
 	Linkage string
 	// Workers bounds the worker pool every parallel stage draws from:
-	// per-region corpus generation, the per-cuisine FP-Growth runs, the
+	// per-region corpus generation, the per-cuisine mining runs, the
 	// pdist row fan-outs, the Fig. 1 elbow sweep and the concurrent
 	// construction of the five dendrograms. 0 (the default) means
 	// runtime.GOMAXPROCS(0); 1 forces the fully sequential path. Every
 	// result is byte-identical for any value — parallelism only changes
 	// how fast the answer arrives, never the answer (see DESIGN.md §3).
 	Workers int
+	// Miner names the frequent-itemset mining backend for the
+	// per-cuisine mine stage: "apriori", "eclat" or "fpgrowth" (plus
+	// the "fp-growth"/"fp" spellings); empty selects the benchmark-
+	// chosen default. All backends run over the shared bitset
+	// transaction index and produce byte-identical pattern sets, so —
+	// like Workers — the miner is a pure performance knob: it never
+	// enters a cache or artifact key (see DESIGN.md §9).
+	Miner string
 }
 
 // Canonical returns the Options with every default applied and the
-// linkage name normalized ("upgma" -> "average"), rejecting unknown
-// linkage methods. Two Options describe the same analysis exactly when
-// their canonical forms differ only in Workers: parallelism never
-// changes the output, so the serving cache keys on the canonical form
-// with Workers zeroed (DESIGN.md §7).
+// linkage and miner names normalized ("upgma" -> "average",
+// "fp-growth" -> "fpgrowth"), rejecting unknown linkage methods and
+// mining backends. Two Options describe the same analysis exactly when
+// their canonical forms differ only in Workers or Miner: neither
+// parallelism nor the mining backend changes the output, so the
+// serving cache keys on the canonical form with both zeroed
+// (DESIGN.md §7, §9).
 func (o Options) Canonical() (Options, error) {
 	if o.Seed == 0 {
 		o.Seed = corpus.DefaultSeed
@@ -88,6 +99,11 @@ func (o Options) Canonical() (Options, error) {
 		return Options{}, err
 	}
 	o.Linkage = method.String()
+	m, err := miner.Parse(o.Miner)
+	if err != nil {
+		return Options{}, err
+	}
+	o.Miner = m.Name()
 	return o, nil
 }
 
@@ -229,12 +245,17 @@ func (e *Engine) Run(opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, err := miner.Parse(opts.Miner)
+	if err != nil {
+		return nil, err
+	}
 	res, err := e.pipe.Run(pipeline.Params{
 		Seed:       opts.Seed,
 		Scale:      opts.Scale,
 		MinSupport: opts.MinSupport,
 		Method:     method,
 		Workers:    opts.Workers,
+		Miner:      m,
 	})
 	if err != nil {
 		return nil, err
@@ -274,10 +295,15 @@ func (e *Engine) runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, err := miner.Parse(opts.Miner)
+	if err != nil {
+		return nil, err
+	}
 	res, err := e.pipe.RunOn(db, pipeline.Params{
 		MinSupport: opts.MinSupport,
 		Method:     method,
 		Workers:    opts.Workers,
+		Miner:      m,
 	})
 	if err != nil {
 		return nil, err

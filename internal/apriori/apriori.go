@@ -1,8 +1,12 @@
 // Package apriori implements the level-wise Apriori frequent-itemset
 // miner of Agrawal & Srikant (VLDB 1994), reference [1] of the paper. It
 // serves two roles: the classic baseline against which FP-Growth's
-// efficiency claim is benchmarked, and an independent oracle for
-// property tests (both miners must produce identical pattern sets).
+// efficiency claim is benchmarked, and an independent oracle for the
+// miner-agreement property tests (all backends must produce identical
+// pattern sets). Candidate counting runs against the shared bitset index
+// of internal/itemset: each candidate's support is the popcount of the
+// word-wise AND of its members' transaction bitmaps, replacing the
+// classic per-transaction subset scan.
 package apriori
 
 import (
@@ -20,66 +24,44 @@ type Options struct {
 // Mine returns all itemsets with relative support >= minSupport (fraction
 // in (0,1], or absolute count if > 1), in canonical report order.
 func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
-	return MineWithOptions(d, minSupport, Options{})
+	return MineIndex(itemset.NewIndex(d), minSupport)
 }
 
 // MineWithOptions is Mine with explicit options.
 func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
-	if d.Len() == 0 {
+	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
+}
+
+// MineIndex mines a prebuilt bitset index (the shared representation all
+// backends accept, so one index per region serves any of them).
+func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
+	return MineIndexWithOptions(ix, minSupport, Options{})
+}
+
+// MineIndexWithOptions is MineIndex with explicit options.
+func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) []itemset.Pattern {
+	if ix.NumTransactions() == 0 {
 		return nil
 	}
-	minCount := d.MinCount(minSupport)
-	total := float64(d.Len())
+	minCount := ix.MinCount(minSupport)
 
-	// Item id assignment over frequent 1-itemsets, in canonical item
-	// order so generated candidates are id-sorted.
-	counts := d.ItemCounts()
-	var freq []itemset.Item
-	for it, n := range counts {
-		if n >= minCount {
-			freq = append(freq, it)
-		}
-	}
-	sort.Slice(freq, func(i, j int) bool { return freq[i].Less(freq[j]) })
-	idOf := make(map[itemset.Item]int, len(freq))
-	for i, it := range freq {
-		idOf[it] = i
-	}
-
-	// Transactions projected to sorted frequent id lists.
-	txns := make([][]int, 0, d.Len())
-	for _, t := range d.Transactions() {
-		var ids []int
-		for _, it := range t.Items.Items() {
-			if id, ok := idOf[it]; ok {
-				ids = append(ids, id)
-			}
-		}
-		if len(ids) > 0 {
-			sort.Ints(ids)
-			txns = append(txns, ids)
+	// Frequent 1-itemsets. Index ids are assigned in canonical item
+	// order, so ascending ids are canonically sorted — the invariant the
+	// prefix join below needs.
+	var freq []int32
+	for id := int32(0); int(id) < ix.NumItems(); id++ {
+		if ix.Count(id) >= minCount {
+			freq = append(freq, id)
 		}
 	}
 
 	var out []itemset.Pattern
-	emit := func(ids []int, count int) {
-		items := make([]itemset.Item, len(ids))
-		for i, id := range ids {
-			items[i] = freq[id]
-		}
-		out = append(out, itemset.Pattern{
-			Items:   itemset.NewSet(items...),
-			Count:   count,
-			Support: float64(count) / total,
-		})
-	}
 
 	// L1.
-	current := make([][]int, 0, len(freq))
-	for id, it := range freq {
-		c := counts[it]
-		emit([]int{id}, c)
-		current = append(current, []int{id})
+	current := make([][]int32, 0, len(freq))
+	for _, id := range freq {
+		out = append(out, ix.Pattern([]int32{id}, ix.Count(id)))
+		current = append(current, []int32{id})
 	}
 
 	k := 1
@@ -92,22 +74,11 @@ func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []ite
 		if len(candidates) == 0 {
 			break
 		}
-		// Count candidates by subset testing against each transaction.
-		candCounts := make([]int, len(candidates))
-		for _, txn := range txns {
-			if len(txn) < k {
-				continue
-			}
-			for ci, cand := range candidates {
-				if containsSorted(txn, cand) {
-					candCounts[ci]++
-				}
-			}
-		}
-		var next [][]int
-		for ci, cand := range candidates {
-			if candCounts[ci] >= minCount {
-				emit(cand, candCounts[ci])
+		// Count each surviving candidate against the vertical index.
+		var next [][]int32
+		for _, cand := range candidates {
+			if c := ix.SupportCount(cand); c >= minCount {
+				out = append(out, ix.Pattern(cand, c))
 				next = append(next, cand)
 			}
 		}
@@ -121,26 +92,26 @@ func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []ite
 // generateCandidates performs the Apriori join + prune step on the sorted
 // frequent (k-1)-itemsets: join pairs sharing the first k-2 ids, then
 // discard candidates with an infrequent (k-1)-subset.
-func generateCandidates(frequent [][]int) [][]int {
+func generateCandidates(frequent [][]int32) [][]int32 {
 	if len(frequent) == 0 {
 		return nil
 	}
 	k1 := len(frequent[0])
 	// Lexicographic order is required for the prefix join.
-	sort.Slice(frequent, func(i, j int) bool { return lessInts(frequent[i], frequent[j]) })
+	sort.Slice(frequent, func(i, j int) bool { return lessIDs(frequent[i], frequent[j]) })
 	inPrev := make(map[string]bool, len(frequent))
 	for _, f := range frequent {
-		inPrev[intsKey(f)] = true
+		inPrev[idsKey(f)] = true
 	}
 
-	var cands [][]int
+	var cands [][]int32
 	for i := 0; i < len(frequent); i++ {
 		for j := i + 1; j < len(frequent); j++ {
 			a, b := frequent[i], frequent[j]
 			if !samePrefix(a, b, k1-1) {
 				break // sorted, so no later j can share the prefix
 			}
-			cand := make([]int, k1+1)
+			cand := make([]int32, k1+1)
 			copy(cand, a)
 			cand[k1] = b[k1-1]
 			if prune(cand, inPrev) {
@@ -152,11 +123,11 @@ func generateCandidates(frequent [][]int) [][]int {
 }
 
 // prune checks that all (k-1)-subsets of cand are frequent.
-func prune(cand []int, inPrev map[string]bool) bool {
+func prune(cand []int32, inPrev map[string]bool) bool {
 	if len(cand) <= 2 {
 		return true // both 1-subsets are frequent by construction
 	}
-	sub := make([]int, 0, len(cand)-1)
+	sub := make([]int32, 0, len(cand)-1)
 	for skip := range cand {
 		sub = sub[:0]
 		for i, v := range cand {
@@ -164,14 +135,14 @@ func prune(cand []int, inPrev map[string]bool) bool {
 				sub = append(sub, v)
 			}
 		}
-		if !inPrev[intsKey(sub)] {
+		if !inPrev[idsKey(sub)] {
 			return false
 		}
 	}
 	return true
 }
 
-func samePrefix(a, b []int, n int) bool {
+func samePrefix(a, b []int32, n int) bool {
 	for i := 0; i < n; i++ {
 		if a[i] != b[i] {
 			return false
@@ -180,7 +151,7 @@ func samePrefix(a, b []int, n int) bool {
 	return true
 }
 
-func lessInts(a, b []int) bool {
+func lessIDs(a, b []int32) bool {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
 			return a[i] < b[i]
@@ -189,26 +160,10 @@ func lessInts(a, b []int) bool {
 	return len(a) < len(b)
 }
 
-func intsKey(ids []int) string {
-	b := make([]byte, 0, len(ids)*3)
+func idsKey(ids []int32) string {
+	b := make([]byte, 0, len(ids)*4)
 	for _, id := range ids {
-		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
 	return string(b)
-}
-
-// containsSorted reports whether sorted slice txn contains all of sorted
-// slice sub.
-func containsSorted(txn, sub []int) bool {
-	i := 0
-	for _, want := range sub {
-		for i < len(txn) && txn[i] < want {
-			i++
-		}
-		if i >= len(txn) || txn[i] != want {
-			return false
-		}
-		i++
-	}
-	return true
 }

@@ -104,20 +104,24 @@ func TestAgreesWithFPGrowthProperty(t *testing.T) {
 	}
 }
 
-func TestContainsSorted(t *testing.T) {
-	cases := []struct {
-		txn, sub []int
-		want     bool
-	}{
-		{[]int{1, 3, 5, 7}, []int{3, 7}, true},
-		{[]int{1, 3, 5, 7}, []int{3, 6}, false},
-		{[]int{1, 3}, []int{1, 3, 5}, false},
-		{[]int{1, 3}, nil, true},
-		{nil, []int{1}, false},
-	}
-	for _, c := range cases {
-		if got := containsSorted(c.txn, c.sub); got != c.want {
-			t.Errorf("containsSorted(%v, %v) = %v", c.txn, c.sub, got)
+func TestMineIndexReusesSharedIndex(t *testing.T) {
+	// One index, two thresholds: results must match fresh Mine calls, and
+	// the second mine must not be perturbed by the first (the index is
+	// immutable shared state across backends and thresholds).
+	d := ds(
+		txn("a", "b", "c"), txn("a", "b"), txn("a", "c"), txn("b", "c"), txn("a"),
+	)
+	ix := itemset.NewIndex(d)
+	for _, sup := range []float64{0.4, 0.6} {
+		fresh := patternMap(Mine(d, sup))
+		shared := patternMap(MineIndex(ix, sup))
+		if len(fresh) != len(shared) {
+			t.Fatalf("sup=%g: fresh %d patterns, shared index %d", sup, len(fresh), len(shared))
+		}
+		for k, c := range fresh {
+			if shared[k] != c {
+				t.Fatalf("sup=%g: %q fresh count %d, shared %d", sup, k, c, shared[k])
+			}
 		}
 	}
 }

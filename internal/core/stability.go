@@ -39,8 +39,20 @@ var anecdotes = []anecdote{
 	{"india-closer-to-north-africa-than-southeast-asian", "Indian Subcontinent", "Northern Africa", "Southeast Asian"},
 }
 
-// BootstrapClaims runs the bootstrap. iters <= 0 defaults to 20.
+// BootstrapClaims runs the bootstrap with every available core. iters
+// <= 0 defaults to 20; see BootstrapClaimsWorkers for the worker knob.
 func BootstrapClaims(db *recipedb.DB, minSupport float64, iters int, seed uint64) (*Stability, error) {
+	return BootstrapClaimsWorkers(db, minSupport, iters, seed, 0)
+}
+
+// BootstrapClaimsWorkers is BootstrapClaims with an explicit worker
+// bound for each replicate's mining fan-out and pdist stages (<= 0
+// means GOMAXPROCS, 1 forces the sequential path). Callers that already
+// run under a bounded pool — a daemon started with -workers N, or
+// evaltrees -workers — must pass their bound through here, otherwise
+// every replicate silently fans out over all cores and oversubscribes
+// the host during validation.
+func BootstrapClaimsWorkers(db *recipedb.DB, minSupport float64, iters int, seed uint64, workers int) (*Stability, error) {
 	if iters <= 0 {
 		iters = 20
 	}
@@ -55,7 +67,7 @@ func BootstrapClaims(db *recipedb.DB, minSupport float64, iters int, seed uint64
 			return nil, err
 		}
 		// Euclidean pattern tree.
-		mined, err := MineRegions(boot, minSupport)
+		mined, err := MineRegionsWorkers(boot, minSupport, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +76,7 @@ func BootstrapClaims(db *recipedb.DB, minSupport float64, iters int, seed uint64
 		if err != nil {
 			return nil, err
 		}
-		pTree, err := PatternTree(pm, distance.Euclidean, EuclideanLinkage)
+		pTree, err := PatternTreeWorkers(pm, distance.Euclidean, EuclideanLinkage, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +85,7 @@ func BootstrapClaims(db *recipedb.DB, minSupport float64, iters int, seed uint64
 		if err != nil {
 			return nil, err
 		}
-		aTree, err := AuthenticityTree(am, distance.Euclidean, hac.Average)
+		aTree, err := AuthenticityTreeWorkers(am, distance.Euclidean, hac.Average, workers)
 		if err != nil {
 			return nil, err
 		}

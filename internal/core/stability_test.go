@@ -48,6 +48,33 @@ func TestBootstrapClaims(t *testing.T) {
 	}
 }
 
+// TestBootstrapWorkersInvariant: the worker bound threaded through the
+// replicate mining and pdist stages must never change the bootstrap
+// result (it exists so a -workers daemon or CLI stops oversubscribing
+// during validation, nothing more).
+func TestBootstrapWorkersInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap is slow")
+	}
+	db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := BootstrapClaimsWorkers(db, DefaultMinSupport, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BootstrapClaimsWorkers(db, DefaultMinSupport, 2, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range seq.Support {
+		if par.Support[k] != v {
+			t.Fatalf("workers changed bootstrap support at %s: %v vs %v", k, v, par.Support[k])
+		}
+	}
+}
+
 func TestBootstrapDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bootstrap is slow")

@@ -1,8 +1,11 @@
 // Package eclat implements the Eclat frequent-itemset miner (Zaki 2000):
-// depth-first search over the itemset lattice with vertical tid-list
-// intersection. It is the third independent miner in the repository,
-// used in the miner-agreement property tests and the A1 ablation bench
-// (FP-Growth vs Apriori vs Eclat).
+// depth-first search over the itemset lattice with vertical tidset
+// intersection. The tidsets are the shared bitset index of
+// internal/itemset — intersections are word-wise ANDs and supports are
+// popcounts, so the inner loop is branch-free over []uint64 rather than
+// a merge of sorted tid lists. Eclat is one of the three pluggable
+// backends behind internal/miner, exercised head-to-head in the
+// miner-agreement property tests and the A1/P6 benches.
 package eclat
 
 import (
@@ -20,98 +23,87 @@ type Options struct {
 // Mine returns all itemsets with relative support >= minSupport (fraction
 // in (0,1], or absolute count if > 1), in canonical report order.
 func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
-	return MineWithOptions(d, minSupport, Options{})
+	return MineIndex(itemset.NewIndex(d), minSupport)
 }
 
 // MineWithOptions is Mine with explicit options.
 func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
-	if d.Len() == 0 {
+	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
+}
+
+// MineIndex mines a prebuilt bitset index (the shared representation all
+// backends accept, so one index per region serves any of them).
+func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
+	return MineIndexWithOptions(ix, minSupport, Options{})
+}
+
+// MineIndexWithOptions is MineIndex with explicit options.
+func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) []itemset.Pattern {
+	if ix.NumTransactions() == 0 {
 		return nil
 	}
-	minCount := d.MinCount(minSupport)
-	total := float64(d.Len())
+	minCount := ix.MinCount(minSupport)
 
-	// Vertical representation: item -> sorted tid list.
-	tidlists := make(map[itemset.Item][]int32)
-	for tid, t := range d.Transactions() {
-		for _, it := range t.Items.Items() {
-			tidlists[it] = append(tidlists[it], int32(tid))
-		}
-	}
+	// Frequent items in ascending support order (ties by item, which is
+	// ascending id): extending rare prefixes first keeps the intersected
+	// bitmaps sparse and the search shallow.
 	type entry struct {
-		it   itemset.Item
-		tids []int32
+		id    int32
+		count int
 	}
 	var freq []entry
-	for it, tids := range tidlists {
-		if len(tids) >= minCount {
-			freq = append(freq, entry{it, tids})
+	for id := int32(0); int(id) < ix.NumItems(); id++ {
+		if c := ix.Count(id); c >= minCount {
+			freq = append(freq, entry{id, c})
 		}
 	}
-	// Ascending support order reduces intersection work; ties by item for
-	// determinism.
 	sort.Slice(freq, func(i, j int) bool {
-		if len(freq[i].tids) != len(freq[j].tids) {
-			return len(freq[i].tids) < len(freq[j].tids)
+		if freq[i].count != freq[j].count {
+			return freq[i].count < freq[j].count
 		}
-		return freq[i].it.Less(freq[j].it)
+		return freq[i].id < freq[j].id
 	})
 
 	var out []itemset.Pattern
-	emit := func(items []itemset.Item, count int) {
-		cp := make([]itemset.Item, len(items))
-		copy(cp, items)
-		out = append(out, itemset.Pattern{
-			Items:   itemset.NewSet(cp...),
-			Count:   count,
-			Support: float64(count) / total,
-		})
-	}
+	// scratch[d-1] holds the intersection bitmap at recursion depth d
+	// (depth 0 borrows the index's own bitmaps and intersects nothing);
+	// each buffer is overwritten only after every deeper extension of
+	// the previous sibling has finished with it.
+	var scratch [][]uint64
+	words := ix.Words()
 
-	// Depth-first extension: each prefix holds the items chosen so far and
-	// the tid-list of their intersection; extensions come from the tail of
-	// the frequent item order.
-	var dfs func(prefixItems []itemset.Item, prefixTids []int32, startIdx int)
-	dfs = func(prefixItems []itemset.Item, prefixTids []int32, startIdx int) {
-		for i := startIdx; i < len(freq); i++ {
-			var tids []int32
-			if prefixTids == nil {
-				tids = freq[i].tids
+	// Depth-first extension: each prefix holds the items chosen so far
+	// and the bitmap of their intersection; extensions come from the tail
+	// of the frequent item order.
+	var dfs func(prefix []int32, prefixBits []uint64, start, depth int)
+	dfs = func(prefix []int32, prefixBits []uint64, start, depth int) {
+		for i := start; i < len(freq); i++ {
+			var (
+				cnt  int
+				bits []uint64
+			)
+			if prefixBits == nil {
+				cnt, bits = freq[i].count, ix.Bits(freq[i].id)
 			} else {
-				tids = intersect(prefixTids, freq[i].tids)
+				for len(scratch) < depth {
+					scratch = append(scratch, make([]uint64, words))
+				}
+				bits = scratch[depth-1]
+				cnt = itemset.AndInto(bits, prefixBits, ix.Bits(freq[i].id))
 			}
-			if len(tids) < minCount {
+			if cnt < minCount {
 				continue
 			}
-			items := append(prefixItems, freq[i].it)
-			emit(items, len(tids))
-			if opts.MaxLen == 0 || len(items) < opts.MaxLen {
-				dfs(items, tids, i+1)
+			prefix = append(prefix, freq[i].id)
+			out = append(out, ix.Pattern(prefix, cnt))
+			if opts.MaxLen == 0 || len(prefix) < opts.MaxLen {
+				dfs(prefix, bits, i+1, depth+1)
 			}
-			prefixItems = items[:len(items)-1]
+			prefix = prefix[:len(prefix)-1]
 		}
 	}
-	dfs(nil, nil, 0)
+	dfs(nil, nil, 0, 0)
 
 	itemset.SortPatterns(out)
-	return out
-}
-
-// intersect returns the intersection of two sorted tid lists.
-func intersect(a, b []int32) []int32 {
-	out := make([]int32, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
 	return out
 }

@@ -55,13 +55,25 @@ func TestMaxLen(t *testing.T) {
 	}
 }
 
-func TestIntersect(t *testing.T) {
-	got := intersect([]int32{1, 3, 5, 9}, []int32{3, 4, 5, 10})
-	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
-		t.Fatalf("intersect = %v", got)
-	}
-	if len(intersect(nil, []int32{1})) != 0 {
-		t.Fatal("nil intersect")
+func TestMineIndexReusesSharedIndex(t *testing.T) {
+	// The same prebuilt index mined twice (different thresholds) must
+	// match fresh Mine calls: the DFS scratch buffers never leak state
+	// into the shared bitmaps.
+	d := ds(
+		txn("a", "b", "c"), txn("a", "b"), txn("a", "c"), txn("b", "c"), txn("a"),
+	)
+	ix := itemset.NewIndex(d)
+	for _, sup := range []float64{0.4, 0.6} {
+		fresh := patternMap(Mine(d, sup))
+		shared := patternMap(MineIndex(ix, sup))
+		if len(fresh) != len(shared) {
+			t.Fatalf("sup=%g: fresh %d patterns, shared index %d", sup, len(fresh), len(shared))
+		}
+		for k, c := range fresh {
+			if shared[k] != c {
+				t.Fatalf("sup=%g: %q fresh count %d, shared %d", sup, k, c, shared[k])
+			}
+		}
 	}
 }
 

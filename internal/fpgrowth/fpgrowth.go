@@ -4,6 +4,10 @@
 // original formulation: a compressed FP-tree with a header table of
 // per-item node chains, mined recursively through conditional pattern
 // bases, with the single-path shortcut for enumerating combinations.
+// Like the other backends behind internal/miner, it mines the shared
+// bitset index of internal/itemset: item frequencies come from the
+// index's cached popcounts and the FP-tree is built from the index's
+// horizontal projection, so one index per region serves every backend.
 package fpgrowth
 
 import (
@@ -27,20 +31,31 @@ type Options struct {
 // least minSupport (a fraction in (0, 1], or an absolute count if > 1).
 // The result is in canonical report order (itemset.SortPatterns).
 func Mine(d *itemset.Dataset, minSupport float64) []itemset.Pattern {
-	return MineWithOptions(d, minSupport, Options{})
+	return MineIndex(itemset.NewIndex(d), minSupport)
 }
 
 // MineWithOptions is Mine with explicit options.
 func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []itemset.Pattern {
-	if d.Len() == 0 {
+	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
+}
+
+// MineIndex mines a prebuilt bitset index (the shared representation all
+// backends accept, so one index per region serves any of them).
+func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
+	return MineIndexWithOptions(ix, minSupport, Options{})
+}
+
+// MineIndexWithOptions is MineIndex with explicit options.
+func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) []itemset.Pattern {
+	if ix.NumTransactions() == 0 {
 		return nil
 	}
-	minCount := d.MinCount(minSupport)
+	minCount := ix.MinCount(minSupport)
 
-	m := newMiner(d, minCount, opts)
+	m := newMiner(ix, minCount, opts)
 	m.run()
 
-	total := float64(d.Len())
+	total := float64(ix.NumTransactions())
 	out := make([]itemset.Pattern, 0, len(m.results))
 	for _, res := range m.results {
 		items := make([]itemset.Item, len(res.items))
@@ -92,27 +107,26 @@ type miner struct {
 	initialTxns [][]int32
 }
 
-func newMiner(d *itemset.Dataset, minCount int, opts Options) *miner {
-	// Pass 1: global item counts.
-	counts := d.ItemCounts()
-
-	// Frequent vocabulary, ordered by descending count, ties by name+kind
-	// for determinism.
+func newMiner(ix *itemset.Index, minCount int, opts Options) *miner {
+	// Frequent vocabulary from the index's cached popcounts, ordered by
+	// descending count, ties by name+kind for determinism.
 	type ic struct {
-		it itemset.Item
+		id int32 // index id
 		n  int
 	}
-	freq := make([]ic, 0, len(counts))
-	for it, n := range counts {
-		if n >= minCount {
-			freq = append(freq, ic{it, n})
+	var freq []ic
+	for id := int32(0); int(id) < ix.NumItems(); id++ {
+		if n := ix.Count(id); n >= minCount {
+			freq = append(freq, ic{id, n})
 		}
 	}
 	sort.Slice(freq, func(i, j int) bool {
 		if freq[i].n != freq[j].n {
 			return freq[i].n > freq[j].n
 		}
-		return freq[i].it.Less(freq[j].it)
+		// Index ids are in canonical item order, so id comparison is the
+		// name+kind tie-break.
+		return freq[i].id < freq[j].id
 	})
 
 	m := &miner{
@@ -120,10 +134,14 @@ func newMiner(d *itemset.Dataset, minCount int, opts Options) *miner {
 		minCount: minCount,
 		opts:     opts,
 	}
-	idOf := make(map[itemset.Item]int32, len(freq))
+	// fpID maps index ids to f-list ids (-1 = infrequent).
+	fpID := make([]int32, ix.NumItems())
+	for i := range fpID {
+		fpID[i] = -1
+	}
 	for i, f := range freq {
-		m.vocab[i] = f.it
-		idOf[f.it] = int32(i)
+		m.vocab[i] = ix.Item(f.id)
+		fpID[f.id] = int32(i)
 	}
 	// Rank equals id because vocab is already in f-list order.
 	m.order = make([]int32, len(freq))
@@ -131,15 +149,15 @@ func newMiner(d *itemset.Dataset, minCount int, opts Options) *miner {
 		m.order[i] = int32(i)
 	}
 
-	// Pass 2: project transactions onto the frequent vocabulary, sorted by
-	// f-list rank (ascending rank = descending frequency), which is the
-	// insertion order FP-trees require.
-	m.initialTxns = make([][]int32, 0, d.Len())
-	for _, t := range d.Transactions() {
+	// Project the index's horizontal transactions onto the frequent
+	// vocabulary, sorted by f-list rank (ascending rank = descending
+	// frequency), which is the insertion order FP-trees require.
+	m.initialTxns = make([][]int32, 0, ix.NumTransactions())
+	for _, txn := range ix.Txns() {
 		var ids []int32
-		for _, it := range t.Items.Items() {
-			if id, ok := idOf[it]; ok {
-				ids = append(ids, id)
+		for _, id := range txn {
+			if f := fpID[id]; f >= 0 {
+				ids = append(ids, f)
 			}
 		}
 		if len(ids) == 0 {

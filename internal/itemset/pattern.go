@@ -37,9 +37,13 @@ func StringPattern(s Set) string {
 }
 
 // SortPatterns orders patterns for stable reporting: by descending
-// support, then ascending size, then lexicographic string pattern. The
-// paper sorts its frozensets before stringifying; a total order here makes
-// every report and test deterministic.
+// support, then ascending size, then lexicographic string pattern, with
+// remaining ties (same-name items of different kinds, which the string
+// pattern cannot distinguish) broken by the kind-aware canonical set
+// key. The paper sorts its frozensets before stringifying; a total
+// order over distinct itemsets makes every report deterministic and
+// lets all mining backends emit byte-identical pattern slices no matter
+// their internal enumeration order.
 func SortPatterns(ps []Pattern) {
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].Support != ps[j].Support {
@@ -48,7 +52,11 @@ func SortPatterns(ps []Pattern) {
 		if ps[i].Items.Len() != ps[j].Items.Len() {
 			return ps[i].Items.Len() < ps[j].Items.Len()
 		}
-		return StringPattern(ps[i].Items) < StringPattern(ps[j].Items)
+		si, sj := StringPattern(ps[i].Items), StringPattern(ps[j].Items)
+		if si != sj {
+			return si < sj
+		}
+		return ps[i].Items.Key() < ps[j].Items.Key()
 	})
 }
 
@@ -71,47 +79,59 @@ func DedupePatterns(ps []Pattern) []Pattern {
 	return out
 }
 
-// MaximalPatterns filters to patterns with no frequent proper superset in
-// the same slice. O(n^2) subset checks are acceptable at per-cuisine
-// pattern counts (tens to low hundreds, per Table I).
-func MaximalPatterns(ps []Pattern) []Pattern {
-	var out []Pattern
+// filterSubsumed keeps the patterns for which no strictly longer
+// pattern q with subsumes(p, q) exists, preserving input order. A
+// pattern can only be subsumed by a strictly longer one, so each
+// pattern is compared against the length buckets above its own instead
+// of the whole slice: for the typical support-sorted slices the miners
+// emit (many short patterns, few long ones) that removes most of the
+// quadratic work.
+func filterSubsumed(ps []Pattern, subsumes func(p, q Pattern) bool) []Pattern {
+	idxBySize := make(map[int][]int)
 	for i, p := range ps {
-		maximal := true
-		for j, q := range ps {
-			if i == j || q.Items.Len() <= p.Items.Len() {
-				continue
-			}
-			if q.Items.ContainsAll(p.Items) {
-				maximal = false
-				break
+		n := p.Items.Len()
+		idxBySize[n] = append(idxBySize[n], i)
+	}
+	sizes := make([]int, 0, len(idxBySize))
+	for n := range idxBySize {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+
+	var out []Pattern
+	for _, p := range ps {
+		keep := true
+	scan:
+		// Only buckets of strictly greater size can hold a subsumer.
+		for _, sz := range sizes[sort.SearchInts(sizes, p.Items.Len()+1):] {
+			for _, j := range idxBySize[sz] {
+				if subsumes(p, ps[j]) {
+					keep = false
+					break scan
+				}
 			}
 		}
-		if maximal {
+		if keep {
 			out = append(out, p)
 		}
 	}
 	return out
 }
 
+// MaximalPatterns filters to patterns with no frequent proper superset
+// in the same slice, preserving input order. Patterns are compared
+// against strictly longer ones only (length-bucketed), since a superset
+// is always strictly larger.
+func MaximalPatterns(ps []Pattern) []Pattern {
+	return filterSubsumed(ps, func(p, q Pattern) bool {
+		return q.Items.ContainsAll(p.Items)
+	})
+}
+
 // ClosedPatterns filters to closed patterns: no proper superset with the
-// same support count.
+// same support count. Input order is preserved.
 func ClosedPatterns(ps []Pattern) []Pattern {
-	var out []Pattern
-	for i, p := range ps {
-		closed := true
-		for j, q := range ps {
-			if i == j || q.Items.Len() <= p.Items.Len() {
-				continue
-			}
-			if q.Count == p.Count && q.Items.ContainsAll(p.Items) {
-				closed = false
-				break
-			}
-		}
-		if closed {
-			out = append(out, p)
-		}
-	}
-	return out
+	return filterSubsumed(ps, func(p, q Pattern) bool {
+		return q.Count == p.Count && q.Items.ContainsAll(p.Items)
+	})
 }

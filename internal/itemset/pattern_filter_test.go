@@ -1,0 +1,104 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveMaximal and naiveClosed are the pre-bucketing all-pairs
+// implementations, kept as the oracle for the length-bucketed fast
+// path.
+func naiveMaximal(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		maximal := true
+		for j, q := range ps {
+			if i == j || q.Items.Len() <= p.Items.Len() {
+				continue
+			}
+			if q.Items.ContainsAll(p.Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func naiveClosed(ps []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range ps {
+		closed := true
+		for j, q := range ps {
+			if i == j || q.Items.Len() <= p.Items.Len() {
+				continue
+			}
+			if q.Count == p.Count && q.Items.ContainsAll(p.Items) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomPatterns builds a pattern slice with heavy subset structure:
+// small item universe, many shared counts, duplicate itemsets allowed —
+// the adversarial shape for subsumption filters.
+func randomPatterns(r *rand.Rand) []Pattern {
+	n := r.Intn(120)
+	ps := make([]Pattern, 0, n)
+	for i := 0; i < n; i++ {
+		size := 1 + r.Intn(5)
+		var items []Item
+		for j := 0; j < size; j++ {
+			items = append(items, NewItem(string(rune('a'+r.Intn(8))), Kind(r.Intn(2))))
+		}
+		ps = append(ps, Pattern{
+			Items: NewSet(items...),
+			Count: 1 + r.Intn(4), // few distinct counts => many closed ties
+		})
+	}
+	return ps
+}
+
+func TestFilterBucketingMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		ps := randomPatterns(r)
+		if got, want := MaximalPatterns(ps), naiveMaximal(ps); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MaximalPatterns diverged from all-pairs oracle\n got: %v\nwant: %v", trial, got, want)
+		}
+		if got, want := ClosedPatterns(ps), naiveClosed(ps); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ClosedPatterns diverged from all-pairs oracle\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+func TestFilterEdgeCases(t *testing.T) {
+	if got := MaximalPatterns(nil); got != nil {
+		t.Fatalf("MaximalPatterns(nil) = %v", got)
+	}
+	if got := ClosedPatterns(nil); got != nil {
+		t.Fatalf("ClosedPatterns(nil) = %v", got)
+	}
+	// Duplicate itemsets: neither copy subsumes the other (equal length),
+	// matching the historical behavior.
+	dup := []Pattern{
+		{Items: FromNames(Ingredient, "a", "b"), Count: 2},
+		{Items: FromNames(Ingredient, "a", "b"), Count: 2},
+	}
+	if got := MaximalPatterns(dup); len(got) != 2 {
+		t.Fatalf("duplicates filtered: %v", got)
+	}
+	if got := ClosedPatterns(dup); len(got) != 2 {
+		t.Fatalf("duplicates filtered: %v", got)
+	}
+}

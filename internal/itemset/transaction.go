@@ -75,15 +75,22 @@ func (d *Dataset) SupportCount(s Set) int {
 // absolute transaction count that satisfies it: ceil(support * len).
 // Thresholds above 1 are interpreted as absolute counts already.
 func (d *Dataset) MinCount(support float64) int {
+	return minCount(d.Len(), support)
+}
+
+// minCount is the shared threshold convention behind Dataset.MinCount
+// and Index.MinCount; one definition keeps the Dataset- and Index-based
+// mining paths byte-identical.
+func minCount(n int, support float64) int {
 	if support <= 0 {
 		return 1
 	}
 	if support > 1 {
 		return int(support)
 	}
-	n := float64(d.Len()) * support
-	c := int(n)
-	if float64(c) < n {
+	f := float64(n) * support
+	c := int(f)
+	if float64(c) < f {
 		c++
 	}
 	if c < 1 {

@@ -1,0 +1,141 @@
+package miner_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cuisines/internal/corpus"
+	"cuisines/internal/itemset"
+	"cuisines/internal/miner"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"apriori", "apriori"},
+		{"eclat", "eclat"},
+		{"fpgrowth", "fpgrowth"},
+		{"FP-Growth", "fpgrowth"},
+		{"fp_growth", "fpgrowth"},
+		{"fp", "fpgrowth"},
+		{" Eclat ", "eclat"},
+		{"", miner.Default.Name()},
+	}
+	for _, c := range cases {
+		m, err := miner.Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if m.Name() != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, m.Name(), c.want)
+		}
+	}
+	if _, err := miner.Parse("magic"); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("unknown backend error = %v", err)
+	}
+}
+
+func TestRegistryOrder(t *testing.T) {
+	names := miner.Names()
+	if len(names) < 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	all := miner.All()
+	for i, m := range all {
+		if m.Name() != names[i] {
+			t.Fatalf("All()[%d] = %q, Names()[%d] = %q", i, m.Name(), i, names[i])
+		}
+	}
+	// The default must be a registered backend (Parse must round-trip it).
+	m, err := miner.Parse(miner.Default.Name())
+	if err != nil || m.Name() != miner.Default.Name() {
+		t.Fatalf("Default %q not registered: %v", miner.Default.Name(), err)
+	}
+}
+
+// encodePatterns serializes a pattern slice the same way the pipeline's
+// mine artifact does (gob), making "byte-identical output" literal.
+func encodePatterns(t *testing.T, ps []itemset.Pattern) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBackendsByteIdenticalOnCorpus is the tentpole's acceptance test:
+// all registered backends must produce byte-identical serialized
+// pattern sets for every region of the calibrated corpus at both
+// support thresholds. This is what licenses excluding the miner name
+// from artifact and cache keys.
+func TestBackendsByteIdenticalOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep is slow")
+	}
+	db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := miner.All()
+	for _, region := range db.Regions() {
+		ix := itemset.NewIndex(db.RegionDataset(region))
+		for _, sup := range []float64{0.2, 0.35} {
+			ref := encodePatterns(t, all[0].Mine(ix, sup))
+			for _, m := range all[1:] {
+				got := encodePatterns(t, m.Mine(ix, sup))
+				if !bytes.Equal(ref, got) {
+					t.Errorf("region %q sup %g: %s output differs from %s",
+						region, sup, m.Name(), all[0].Name())
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsAgreeOnRandomDatasets is the cross-miner agreement
+// property test on randomized synthetic datasets: random transaction
+// counts, item universes and support thresholds, not just
+// corpus-derived shapes. Every backend pair must agree exactly
+// (byte-identically, via the same gob framing as the corpus test).
+func TestBackendsAgreeOnRandomDatasets(t *testing.T) {
+	r := rand.New(rand.NewSource(20200426))
+	all := miner.All()
+	for trial := 0; trial < 60; trial++ {
+		nTxn := 1 + r.Intn(150)
+		universe := 2 + r.Intn(12)
+		maxLen := 1 + r.Intn(8)
+		txns := make([]itemset.Transaction, nTxn)
+		for i := range txns {
+			n := r.Intn(maxLen + 1) // empty transactions allowed
+			var items []itemset.Item
+			for j := 0; j < n; j++ {
+				items = append(items, itemset.NewItem(
+					string(rune('a'+r.Intn(universe))), itemset.Kind(r.Intn(3))))
+			}
+			txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+		}
+		ix := itemset.NewIndex(itemset.NewDataset(txns))
+		sup := []float64{0.1, 0.2, 0.35, 0.5, 0.8}[r.Intn(5)]
+		ref := all[0].Mine(ix, sup)
+		refBytes := encodePatterns(t, ref)
+		for _, m := range all[1:] {
+			if got := encodePatterns(t, m.Mine(ix, sup)); !bytes.Equal(refBytes, got) {
+				t.Fatalf("trial %d (txns=%d universe=%d sup=%g): %s disagrees with %s\n%s: %v\n%s: %v",
+					trial, nTxn, universe, sup, m.Name(), all[0].Name(),
+					all[0].Name(), ref, m.Name(), m.Mine(ix, sup))
+			}
+		}
+	}
+}

@@ -57,16 +57,26 @@ type PatternFeatures struct {
 
 // The stage codecs. Kind strings are the stage names reported by
 // cachestats and used in artifact file names.
+//
+// The mine codec and everything downstream of it are at version 2: the
+// miner-backend layer tightened SortPatterns' tie-break (same-name
+// items of different kinds are now ordered by the kind-aware set key),
+// so pattern slices persisted by version-1 binaries may order such
+// ties differently. The mine key is deliberately backend-agnostic and
+// unchanged, so the bump is what keeps a warm-disk restart from
+// replaying a pre-tie-break artifact — and the stale order from
+// propagating into matrices, distances, trees, the elbow curve and the
+// validation, whose contents all derive from the pattern order.
 var (
 	corpusCodec   = gobCodec[*recipedb.DB]{kind: "corpus", version: 1}
-	mineCodec     = gobCodec[[]core.RegionPatterns]{kind: "mine", version: 1}
-	matricesCodec = gobCodec[*PatternFeatures]{kind: "matrices", version: 1}
+	mineCodec     = gobCodec[[]core.RegionPatterns]{kind: "mine", version: 2}
+	matricesCodec = gobCodec[*PatternFeatures]{kind: "matrices", version: 2}
 	authCodec     = gobCodec[*authenticity.Matrix]{kind: "auth", version: 1}
-	pdistCodec    = gobCodec[*distance.Condensed]{kind: "pdist", version: 1}
+	pdistCodec    = gobCodec[*distance.Condensed]{kind: "pdist", version: 2}
 	geodistCodec  = gobCodec[*distance.Condensed]{kind: "geodist", version: 1}
-	treeCodec     = gobCodec[*core.CuisineTree]{kind: "tree", version: 1}
-	elbowCodec    = gobCodec[*kmeans.ElbowCurve]{kind: "elbow", version: 1}
-	validateCodec = gobCodec[*core.Validation]{kind: "validate", version: 1}
+	treeCodec     = gobCodec[*core.CuisineTree]{kind: "tree", version: 2}
+	elbowCodec    = gobCodec[*kmeans.ElbowCurve]{kind: "elbow", version: 2}
+	validateCodec = gobCodec[*core.Validation]{kind: "validate", version: 2}
 )
 
 // stage resolves one typed stage through the store: memory tier, disk

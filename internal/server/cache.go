@@ -16,8 +16,9 @@ import (
 type Runner func(cuisines.Options) (*cuisines.Analysis, error)
 
 // Cache memoizes full pipeline runs keyed by canonicalized
-// cuisines.Options (seed, scale, min-support, linkage — never Workers,
-// which cannot change the output). A fixed number of analyses is kept
+// cuisines.Options (seed, scale, min-support, linkage — never Workers
+// or Miner, which cannot change the output). A fixed number of
+// analyses is kept
 // with LRU eviction, and lookups are deduplicated single-flight style:
 // any number of concurrent Gets for the same key share exactly one
 // pipeline run.
@@ -77,13 +78,16 @@ func NewCache(size int, run Runner) *Cache {
 }
 
 // Key returns the cache key for opts: the canonical form with Workers
-// zeroed. The error is the canonicalization error (unknown linkage).
+// and Miner zeroed (the two output-neutral knobs — requests differing
+// only in them share one analysis). The error is the canonicalization
+// error (unknown linkage or mining backend).
 func Key(opts cuisines.Options) (cuisines.Options, error) {
 	canon, err := opts.Canonical()
 	if err != nil {
 		return cuisines.Options{}, err
 	}
 	canon.Workers = 0
+	canon.Miner = ""
 	return canon, nil
 }
 
@@ -98,6 +102,7 @@ func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
 	}
 	runOpts := key
 	runOpts.Workers = opts.Workers
+	runOpts.Miner = opts.Miner
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {

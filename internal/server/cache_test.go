@@ -97,3 +97,30 @@ func TestCacheKeyIgnoresWorkers(t *testing.T) {
 		t.Fatalf("worker counts split the cache key (%d runs)", runs)
 	}
 }
+
+func TestCacheKeyIgnoresMiner(t *testing.T) {
+	runs := 0
+	var sawMiner string
+	c := NewCache(4, func(o cuisines.Options) (*cuisines.Analysis, error) {
+		runs++
+		sawMiner = o.Miner
+		return nil, nil
+	})
+	// Every backend spelling shares one analysis: the output is
+	// backend-independent, so keying on it would only waste cache slots.
+	for _, m := range []string{"fpgrowth", "", "eclat", "apriori", "FP-Growth"} {
+		if _, err := c.Get(cuisines.Options{Miner: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("miner names split the cache key (%d runs)", runs)
+	}
+	// The one real run still receives the caller's backend choice.
+	if sawMiner != "fpgrowth" {
+		t.Fatalf("runner saw miner %q, want the requested %q", sawMiner, "fpgrowth")
+	}
+	if _, err := c.Get(cuisines.Options{Miner: "bogus"}); err == nil {
+		t.Fatal("unknown miner accepted")
+	}
+}

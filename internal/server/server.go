@@ -13,8 +13,9 @@ import (
 // Config configures a Server.
 type Config struct {
 	// Base holds the daemon's default analysis options. Requests may
-	// override the cache-key fields (seed, scale, support, linkage) via
-	// query parameters; Workers always comes from Base.
+	// override the analysis fields (seed, scale, support, linkage) and
+	// the mining backend (miner) via query parameters; Workers always
+	// comes from Base.
 	Base cuisines.Options
 	// CacheSize bounds the number of distinct analyses held (LRU);
 	// <= 0 means DefaultCacheSize.
@@ -75,7 +76,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/substitutes/{region}", s.with(s.handleSubstitutes))
 	mux.HandleFunc("GET /v1/map", s.with(s.handleMap))
 	mux.HandleFunc("GET /v1/claims", s.with(s.handleClaims))
-	mux.HandleFunc("GET /v1/stats", s.with(s.handleStats))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux = mux
 	return s
 }
@@ -91,38 +92,45 @@ func (s *Server) Warm() error {
 }
 
 // requestOptions merges per-request query parameters over the base
-// options. Malformed or unknown values are a client error.
-func (s *Server) requestOptions(r *http.Request) (cuisines.Options, error) {
-	opts := s.base
+// options, returning both the merged form (the cache lookup input,
+// Workers and Miner intact) and its canonical form (every default
+// applied and every name normalized — what /v1/stats echoes).
+// Malformed or unknown values are a client error.
+func (s *Server) requestOptions(r *http.Request) (opts, canon cuisines.Options, err error) {
+	opts = s.base
 	q := r.URL.Query()
 	if v := q.Get("seed"); v != "" {
 		seed, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			return opts, fmt.Errorf("bad seed %q", v)
+			return opts, canon, fmt.Errorf("bad seed %q", v)
 		}
 		opts.Seed = seed
 	}
 	if v := q.Get("scale"); v != "" {
 		scale, err := strconv.ParseFloat(v, 64)
 		if err != nil || scale <= 0 || scale > MaxScale {
-			return opts, fmt.Errorf("scale must be in (0, %g]", float64(MaxScale))
+			return opts, canon, fmt.Errorf("scale must be in (0, %g]", float64(MaxScale))
 		}
 		opts.Scale = scale
 	}
 	if v := q.Get("support"); v != "" {
 		sup, err := strconv.ParseFloat(v, 64)
 		if err != nil || sup <= 0 || sup > 1 {
-			return opts, fmt.Errorf("bad support %q", v)
+			return opts, canon, fmt.Errorf("bad support %q", v)
 		}
 		opts.MinSupport = sup
 	}
 	if v := q.Get("linkage"); v != "" {
 		opts.Linkage = v
 	}
-	if _, err := Key(opts); err != nil {
-		return opts, err
+	if v := q.Get("miner"); v != "" {
+		opts.Miner = v
 	}
-	return opts, nil
+	canon, err = opts.Canonical()
+	if err != nil {
+		return opts, canon, err
+	}
+	return opts, canon, nil
 }
 
 // MaxScale bounds the per-request scale override: an unauthenticated
@@ -140,7 +148,7 @@ type figureHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Anal
 // h: bad analysis parameters are a 400, pipeline failures a 500.
 func (s *Server) with(h analysisHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		opts, err := s.requestOptions(r)
+		opts, _, err := s.requestOptions(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -407,8 +415,21 @@ func (s *Server) handleClaims(w http.ResponseWriter, _ *http.Request, a *cuisine
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
-	writeJSON(w, http.StatusOK, a.Stats())
+// handleStats resolves its own options (rather than going through
+// `with`) because the response echoes the canonical mining backend the
+// request selected alongside the corpus statistics.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	opts, canon, err := s.requestOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := s.cache.Get(opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cuisines.StatsResponse{Stats: a.Stats(), Miner: canon.Miner})
 }
 
 // pathRegion parses the {region} path segment, answering 404 itself on
