@@ -1,0 +1,289 @@
+// Command benchjson runs the repository's benchmark suite and records
+// the results as machine-readable JSON, so benchmark trajectories can
+// be committed next to the code they measure (BENCH_6.json) and checked
+// in CI instead of living in PR descriptions.
+//
+// It shells out to `go test -bench` with -benchmem, parses the standard
+// benchmark output lines, and appends a labeled run to the output file;
+// re-running with an existing label replaces that run in place, so a
+// before/after pair converges to two runs however many times each side
+// is re-measured.
+//
+// Usage:
+//
+//	benchjson -label after -o BENCH_6.json           # run suite, record
+//	benchjson -label before -input raw.txt -o f.json # ingest saved output
+//	benchjson -check BENCH_6.json                    # validate, exit 1 on bad
+//
+// The -check mode is the CI hook: it re-parses the committed file and
+// the smoke-run output, failing the job if either has stopped being
+// valid benchjson output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifies the JSON layout; bump on breaking changes.
+const Schema = "cuisines-bench/v1"
+
+// defaultBench selects the tracked suite P1–P7 (see DESIGN.md §10):
+// pdist, mine, corpus, figures, staged reuse, miner backends, artifact
+// codecs.
+const defaultBench = "^Benchmark(PdistParallel|MineRegionsParallel|CorpusGenerationParallel|BuildFiguresParallel|StagedReuse|MinerBackends|ArtifactCodecs)$"
+
+// File is the committed JSON document.
+type File struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Run is one labeled benchmark invocation.
+type Run struct {
+	Label     string   `json:"label"`
+	Go        string   `json:"go"`
+	Date      string   `json:"date"`
+	Benchtime string   `json:"benchtime,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one parsed benchmark line. Metrics holds custom
+// b.ReportMetric units (e.g. "patterns", "d0").
+type Result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for smoke runs)")
+		count     = flag.Int("count", 1, "go test -count value")
+		short     = flag.Bool("short", false, "pass -short to go test")
+		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		label     = flag.String("label", "run", "label for this run in the output file")
+		out       = flag.String("o", "", "output JSON file; merged if it exists (required unless -check)")
+		input     = flag.String("input", "", "parse saved go test output from this file instead of running")
+		check     = flag.String("check", "", "validate a benchjson file and exit (1 if invalid)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *check)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o is required (or use -check)")
+		os.Exit(2)
+	}
+
+	var (
+		raw io.Reader
+		err error
+	)
+	if *input != "" {
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		raw = f
+	} else {
+		raw, err = runGoTest(*bench, *benchtime, *count, *short, *pkg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	results, err := ParseBench(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed"))
+	}
+
+	run := Run{
+		Label:     *label,
+		Go:        runtime.Version(),
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Benchtime: *benchtime,
+		Results:   results,
+	}
+	if err := mergeRun(*out, run); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d results under label %q\n", *out, len(results), *label)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// runGoTest invokes the benchmark suite and returns its stdout. Bench
+// output goes to stdout; compile errors and -v noise go to stderr and
+// are surfaced on failure.
+func runGoTest(bench, benchtime string, count int, short bool, pkg string) (io.Reader, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr) // echo progress while capturing
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return strings.NewReader(buf.String()), nil
+}
+
+var procsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// ParseBench parses standard `go test -bench` output lines:
+//
+//	BenchmarkName/sub-8   20   52783924 ns/op   18.73 d0   268770 B/op   4 allocs/op
+//
+// i.e. a name (with optional -GOMAXPROCS suffix), an iteration count,
+// then (value, unit) pairs. Unknown units land in Metrics. Non-benchmark
+// lines (goos/pkg headers, PASS, ok) are skipped.
+func ParseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		res := Result{Name: fields[0]}
+		if m := procsSuffix.FindStringSubmatch(res.Name); m != nil {
+			res.Procs, _ = strconv.Atoi(m[1])
+			res.Name = strings.TrimSuffix(res.Name, m[0])
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		res.Iterations = iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				v := val
+				res.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// mergeRun loads the output file if present, replaces any existing run
+// with the same label (keeping its position, so "before" stays first),
+// appends otherwise, and writes the file back.
+func mergeRun(path string, run Run) error {
+	f := File{Schema: Schema}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid benchjson: %v", path, err)
+		}
+		if f.Schema != Schema {
+			return fmt.Errorf("existing %s has schema %q, want %q", path, f.Schema, Schema)
+		}
+	}
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkFile validates a benchjson document: schema match, at least one
+// run, every run labeled with at least one named result.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	if f.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, Schema)
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i, r := range f.Runs {
+		if r.Label == "" {
+			return fmt.Errorf("run %d has no label", i)
+		}
+		if len(r.Results) == 0 {
+			return fmt.Errorf("run %q has no results", r.Label)
+		}
+		for j, res := range r.Results {
+			if res.Name == "" {
+				return fmt.Errorf("run %q result %d has no name", r.Label, j)
+			}
+			if res.NsPerOp <= 0 {
+				return fmt.Errorf("run %q result %q has non-positive ns/op", r.Label, res.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -3,14 +3,21 @@
 // serves two roles: the classic baseline against which FP-Growth's
 // efficiency claim is benchmarked, and an independent oracle for the
 // miner-agreement property tests (all backends must produce identical
-// pattern sets). Candidate counting runs against the shared bitset index
-// of internal/itemset: each candidate's support is the popcount of the
-// word-wise AND of its members' transaction bitmaps, replacing the
-// classic per-transaction subset scan.
+// pattern sets). Candidate counting runs against the shared bitmap index
+// of internal/itemset: each candidate's support is the cardinality of
+// the intersection of its members' transaction bitmaps (word-wise ANDs
+// in dense layout, container intersections in chunked layout), replacing
+// the classic per-transaction subset scan.
+//
+// The join/prune bookkeeping — candidate id storage, subset probe
+// buffer, key buffer and the frequent-set membership map — is recycled
+// through a sync.Pool, so a steady-state mine allocates little beyond
+// its output.
 package apriori
 
 import (
 	"sort"
+	"sync"
 
 	"cuisines/internal/itemset"
 )
@@ -32,11 +39,49 @@ func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []ite
 	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
 }
 
-// MineIndex mines a prebuilt bitset index (the shared representation all
+// MineIndex mines a prebuilt bitmap index (the shared representation all
 // backends accept, so one index per region serves any of them).
 func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
 	return MineIndexWithOptions(ix, minSupport, Options{})
 }
+
+// idArena carves candidate id slices for one level from a recycled
+// backing array. Growing abandons the old array to the slices already
+// carved from it, so capacity converges after one mining run.
+type idArena struct {
+	buf  []int32
+	used int
+}
+
+func (a *idArena) reset() { a.used = 0 }
+
+func (a *idArena) grab(n int) []int32 {
+	if a.used+n > len(a.buf) {
+		size := 2 * (a.used + n)
+		if size < 1024 {
+			size = 1024
+		}
+		a.buf = make([]int32, size)
+		a.used = 0
+	}
+	s := a.buf[a.used : a.used+n : a.used+n]
+	a.used += n
+	return s
+}
+
+// scratch is the pooled candidate-counting state of one mining run. Two
+// arenas alternate across levels: level k's candidates must outlive the
+// k+1 join that reads them, so the k+2 level is the earliest safe reuse.
+type scratch struct {
+	arenas [2]idArena
+	sub    []int32
+	keyBuf []byte
+	inPrev map[string]bool
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{inPrev: make(map[string]bool)}
+}}
 
 // MineIndexWithOptions is MineIndex with explicit options.
 func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) []itemset.Pattern {
@@ -44,6 +89,11 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 		return nil
 	}
 	minCount := ix.MinCount(minSupport)
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.arenas[0].reset()
+	sc.arenas[1].reset()
 
 	// Frequent 1-itemsets. Index ids are assigned in canonical item
 	// order, so ascending ids are canonically sorted — the invariant the
@@ -57,11 +107,13 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 
 	var out []itemset.Pattern
 
-	// L1.
+	// L1. Level k's candidate ids live in arena k%2.
 	current := make([][]int32, 0, len(freq))
 	for _, id := range freq {
 		out = append(out, ix.Pattern([]int32{id}, ix.Count(id)))
-		current = append(current, []int32{id})
+		ids := sc.arenas[1].grab(1)
+		ids[0] = id
+		current = append(current, ids)
 	}
 
 	k := 1
@@ -70,7 +122,9 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 		if opts.MaxLen > 0 && k > opts.MaxLen {
 			break
 		}
-		candidates := generateCandidates(current)
+		arena := &sc.arenas[k%2]
+		arena.reset()
+		candidates := generateCandidates(current, sc, arena)
 		if len(candidates) == 0 {
 			break
 		}
@@ -91,17 +145,20 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 
 // generateCandidates performs the Apriori join + prune step on the sorted
 // frequent (k-1)-itemsets: join pairs sharing the first k-2 ids, then
-// discard candidates with an infrequent (k-1)-subset.
-func generateCandidates(frequent [][]int32) [][]int32 {
+// discard candidates with an infrequent (k-1)-subset. Candidate storage
+// comes from the level's arena; the membership map and probe buffers are
+// the run's pooled scratch.
+func generateCandidates(frequent [][]int32, sc *scratch, arena *idArena) [][]int32 {
 	if len(frequent) == 0 {
 		return nil
 	}
 	k1 := len(frequent[0])
 	// Lexicographic order is required for the prefix join.
 	sort.Slice(frequent, func(i, j int) bool { return lessIDs(frequent[i], frequent[j]) })
-	inPrev := make(map[string]bool, len(frequent))
+	clear(sc.inPrev)
 	for _, f := range frequent {
-		inPrev[idsKey(f)] = true
+		sc.keyBuf = appendIDsKey(sc.keyBuf[:0], f)
+		sc.inPrev[string(sc.keyBuf)] = true
 	}
 
 	var cands [][]int32
@@ -111,10 +168,10 @@ func generateCandidates(frequent [][]int32) [][]int32 {
 			if !samePrefix(a, b, k1-1) {
 				break // sorted, so no later j can share the prefix
 			}
-			cand := make([]int32, k1+1)
+			cand := arena.grab(k1 + 1)
 			copy(cand, a)
 			cand[k1] = b[k1-1]
-			if prune(cand, inPrev) {
+			if sc.prune(cand) {
 				cands = append(cands, cand)
 			}
 		}
@@ -123,19 +180,23 @@ func generateCandidates(frequent [][]int32) [][]int32 {
 }
 
 // prune checks that all (k-1)-subsets of cand are frequent.
-func prune(cand []int32, inPrev map[string]bool) bool {
+func (sc *scratch) prune(cand []int32) bool {
 	if len(cand) <= 2 {
 		return true // both 1-subsets are frequent by construction
 	}
-	sub := make([]int32, 0, len(cand)-1)
+	if cap(sc.sub) < len(cand)-1 {
+		sc.sub = make([]int32, 0, 2*len(cand))
+	}
 	for skip := range cand {
-		sub = sub[:0]
+		sub := sc.sub[:0]
 		for i, v := range cand {
 			if i != skip {
 				sub = append(sub, v)
 			}
 		}
-		if !inPrev[idsKey(sub)] {
+		sc.keyBuf = appendIDsKey(sc.keyBuf[:0], sub)
+		// Map lookup keyed by string(bytes) does not allocate.
+		if !sc.inPrev[string(sc.keyBuf)] {
 			return false
 		}
 	}
@@ -160,10 +221,9 @@ func lessIDs(a, b []int32) bool {
 	return len(a) < len(b)
 }
 
-func idsKey(ids []int32) string {
-	b := make([]byte, 0, len(ids)*4)
+func appendIDsKey(b []byte, ids []int32) []byte {
 	for _, id := range ids {
 		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	return string(b)
+	return b
 }

@@ -48,6 +48,22 @@ type Codec interface {
 	Decode(r io.Reader) (any, error)
 }
 
+// AppendEncoder is an optional fast path for Codec: a codec that can
+// append its encoding to a byte slice skips the bytes.Buffer staging in
+// saveDisk. dst may be nil; the extended slice is returned.
+type AppendEncoder interface {
+	AppendEncode(dst []byte, v any) ([]byte, error)
+}
+
+// BytesDecoder is an optional fast path for Codec: a codec that can
+// decode straight from a byte slice is handed the checksummed payload
+// subslice of the file read in loadDisk, skipping the io.Reader
+// adapter. The codec must not retain or modify data beyond values it
+// deliberately aliases into the decoded artifact.
+type BytesDecoder interface {
+	DecodeBytes(data []byte) (any, error)
+}
+
 // Key derives a stable artifact key from a stage kind and its
 // parameters — typically literal parameter values plus the keys of the
 // stage's inputs, which makes keys content-addressed transitively: a
@@ -339,7 +355,12 @@ func (s *Store) loadDisk(key string, codec Codec) (any, bool) {
 	if sha256.Sum256(payload) != sum {
 		return nil, false
 	}
-	v, err := codec.Decode(bytes.NewReader(payload))
+	var v any
+	if bd, ok := codec.(BytesDecoder); ok {
+		v, err = bd.DecodeBytes(payload)
+	} else {
+		v, err = codec.Decode(bytes.NewReader(payload))
+	}
 	if err != nil {
 		return nil, false
 	}
@@ -358,9 +379,19 @@ func (s *Store) saveDisk(key string, codec Codec, v any) {
 	if s.dir == "" {
 		return
 	}
-	var payload bytes.Buffer
-	if err := codec.Encode(&payload, v); err != nil {
-		return
+	var payload []byte
+	if ae, ok := codec.(AppendEncoder); ok {
+		p, err := ae.AppendEncode(nil, v)
+		if err != nil {
+			return
+		}
+		payload = p
+	} else {
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, v); err != nil {
+			return
+		}
+		payload = buf.Bytes()
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return
@@ -370,20 +401,20 @@ func (s *Store) saveDisk(key string, codec Codec, v any) {
 		return
 	}
 	defer os.Remove(f.Name())
-	sum := sha256.Sum256(payload.Bytes())
+	sum := sha256.Sum256(payload)
 	var header bytes.Buffer
 	header.Write(diskMagic[:])
 	binary.Write(&header, binary.LittleEndian, struct {
 		Format, CodecVersion uint32
 		KindLen, PayloadLen  uint32
-	}{diskFormatVersion, uint32(codec.Version()), uint32(len(codec.Kind())), uint32(payload.Len())})
+	}{diskFormatVersion, uint32(codec.Version()), uint32(len(codec.Kind())), uint32(len(payload))})
 	header.WriteString(codec.Kind())
 	header.Write(sum[:])
 	if _, err := f.Write(header.Bytes()); err != nil {
 		f.Close()
 		return
 	}
-	if _, err := f.Write(payload.Bytes()); err != nil {
+	if _, err := f.Write(payload); err != nil {
 		f.Close()
 		return
 	}
@@ -391,7 +422,7 @@ func (s *Store) saveDisk(key string, codec Codec, v any) {
 		return
 	}
 	if os.Rename(f.Name(), s.path(key, codec)) == nil {
-		s.noteDiskWrite(int64(header.Len()) + int64(payload.Len()))
+		s.noteDiskWrite(int64(header.Len()) + int64(len(payload)))
 	}
 }
 

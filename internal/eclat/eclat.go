@@ -1,15 +1,21 @@
 // Package eclat implements the Eclat frequent-itemset miner (Zaki 2000):
 // depth-first search over the itemset lattice with vertical tidset
-// intersection. The tidsets are the shared bitset index of
-// internal/itemset — intersections are word-wise ANDs and supports are
-// popcounts, so the inner loop is branch-free over []uint64 rather than
-// a merge of sorted tid lists. Eclat is one of the three pluggable
-// backends behind internal/miner, exercised head-to-head in the
-// miner-agreement property tests and the A1/P6 benches.
+// intersection. The tidsets are the shared bitmap index of
+// internal/itemset — in dense layout the inner loop is a branch-free
+// word-wise AND over []uint64; in chunked layout (sparse universes) it
+// is a roaring-style container intersection that shrinks toward cheap
+// array merges as prefixes get rarer. Eclat is one of the three
+// pluggable backends behind internal/miner, exercised head-to-head in
+// the miner-agreement property tests and the A1/P6 benches.
+//
+// The per-depth intersection buffers are recycled through a sync.Pool
+// across mining runs, so a steady-state mine allocates only its output
+// (pinned by the AllocsPerRun regression guard in eclat_test.go).
 package eclat
 
 import (
 	"sort"
+	"sync"
 
 	"cuisines/internal/itemset"
 )
@@ -31,11 +37,32 @@ func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []ite
 	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
 }
 
-// MineIndex mines a prebuilt bitset index (the shared representation all
+// MineIndex mines a prebuilt bitmap index (the shared representation all
 // backends accept, so one index per region serves any of them).
 func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
 	return MineIndexWithOptions(ix, minSupport, Options{})
 }
+
+// scratch holds the per-depth intersection bitmaps of one mining run.
+// Buffer d-1 holds the intersection at recursion depth d (depth 0
+// borrows the index's own bitmaps and intersects nothing); each buffer
+// is overwritten only after every deeper extension of the previous
+// sibling has finished with it, so one buffer per depth suffices.
+type scratch struct {
+	levels []*itemset.Bitmap
+}
+
+// level returns the scratch bitmap for depth, shaped for ix's layout.
+func (s *scratch) level(ix *itemset.Index, depth int) *itemset.Bitmap {
+	for len(s.levels) < depth {
+		s.levels = append(s.levels, new(itemset.Bitmap))
+	}
+	b := s.levels[depth-1]
+	ix.PrepareScratch(b)
+	return b
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // MineIndexWithOptions is MineIndex with explicit options.
 func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) []itemset.Pattern {
@@ -65,31 +92,24 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 	})
 
 	var out []itemset.Pattern
-	// scratch[d-1] holds the intersection bitmap at recursion depth d
-	// (depth 0 borrows the index's own bitmaps and intersects nothing);
-	// each buffer is overwritten only after every deeper extension of
-	// the previous sibling has finished with it.
-	var scratch [][]uint64
-	words := ix.Words()
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 
 	// Depth-first extension: each prefix holds the items chosen so far
 	// and the bitmap of their intersection; extensions come from the tail
 	// of the frequent item order.
-	var dfs func(prefix []int32, prefixBits []uint64, start, depth int)
-	dfs = func(prefix []int32, prefixBits []uint64, start, depth int) {
+	var dfs func(prefix []int32, prefixBits *itemset.Bitmap, start, depth int)
+	dfs = func(prefix []int32, prefixBits *itemset.Bitmap, start, depth int) {
 		for i := start; i < len(freq); i++ {
 			var (
 				cnt  int
-				bits []uint64
+				bits *itemset.Bitmap
 			)
 			if prefixBits == nil {
-				cnt, bits = freq[i].count, ix.Bits(freq[i].id)
+				cnt, bits = freq[i].count, ix.ItemBitmap(freq[i].id)
 			} else {
-				for len(scratch) < depth {
-					scratch = append(scratch, make([]uint64, words))
-				}
-				bits = scratch[depth-1]
-				cnt = itemset.AndInto(bits, prefixBits, ix.Bits(freq[i].id))
+				bits = sc.level(ix, depth)
+				cnt = itemset.AndBitmaps(bits, prefixBits, ix.ItemBitmap(freq[i].id))
 			}
 			if cnt < minCount {
 				continue

@@ -5,13 +5,20 @@
 // per-item node chains, mined recursively through conditional pattern
 // bases, with the single-path shortcut for enumerating combinations.
 // Like the other backends behind internal/miner, it mines the shared
-// bitset index of internal/itemset: item frequencies come from the
+// bitmap index of internal/itemset: item frequencies come from the
 // index's cached popcounts and the FP-tree is built from the index's
 // horizontal projection, so one index per region serves every backend.
+//
+// The conditional trees, their node arenas and the prefix/probe buffers
+// are recycled through a sync.Pool across mining runs — the recursion
+// builds and discards one conditional tree per frequent item per level,
+// which dominated the allocation profile before pooling (see the
+// AllocsPerRun regression guard in fpgrowth_test.go).
 package fpgrowth
 
 import (
 	"sort"
+	"sync"
 
 	"cuisines/internal/itemset"
 )
@@ -39,7 +46,7 @@ func MineWithOptions(d *itemset.Dataset, minSupport float64, opts Options) []ite
 	return MineIndexWithOptions(itemset.NewIndex(d), minSupport, opts)
 }
 
-// MineIndex mines a prebuilt bitset index (the shared representation all
+// MineIndex mines a prebuilt bitmap index (the shared representation all
 // backends accept, so one index per region serves any of them).
 func MineIndex(ix *itemset.Index, minSupport float64) []itemset.Pattern {
 	return MineIndexWithOptions(ix, minSupport, Options{})
@@ -52,8 +59,10 @@ func MineIndexWithOptions(ix *itemset.Index, minSupport float64, opts Options) [
 	}
 	minCount := ix.MinCount(minSupport)
 
-	m := newMiner(ix, minCount, opts)
+	sc := scratchPool.Get().(*fpScratch)
+	m := newMiner(ix, minCount, opts, sc)
 	m.run()
+	scratchPool.Put(sc)
 
 	total := float64(ix.NumTransactions())
 	out := make([]itemset.Pattern, 0, len(m.results))
@@ -95,6 +104,51 @@ type tree struct {
 	counts []int   // item id -> total count in this tree
 }
 
+// fpScratch is the pooled per-run state: recycled conditional trees and
+// the prefix/keep buffers of the pattern-base extraction. One scratch
+// serves one mining run at a time; trees are handed out and reclaimed as
+// the recursion unwinds.
+type fpScratch struct {
+	free     []*tree
+	prefix   []int32
+	keep     []bool
+	pathBuf  []int32
+	chosen   []int32
+	suffix   []int32
+	comboBuf []int32
+	walkBuf  []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fpScratch) }}
+
+// getTree returns a cleared tree with numItems header/counts slots,
+// recycling a released one when available.
+func (sc *fpScratch) getTree(numItems int) *tree {
+	var t *tree
+	if n := len(sc.free); n > 0 {
+		t = sc.free[n-1]
+		sc.free = sc.free[:n-1]
+	} else {
+		t = &tree{nodes: make([]node, 0, 64)}
+	}
+	t.nodes = t.nodes[:0]
+	t.nodes = append(t.nodes, node{item: -1, parent: -1, child: -1, sibling: -1, hlink: -1})
+	if cap(t.header) < numItems {
+		t.header = make([]int32, numItems)
+		t.counts = make([]int, numItems)
+	}
+	t.header = t.header[:numItems]
+	t.counts = t.counts[:numItems]
+	for i := range t.header {
+		t.header[i] = -1
+		t.counts[i] = 0
+	}
+	return t
+}
+
+// putTree reclaims a tree for reuse by later conditional bases.
+func (sc *fpScratch) putTree(t *tree) { sc.free = append(sc.free, t) }
+
 type miner struct {
 	vocab    []itemset.Item // id -> item
 	order    []int32        // id -> f-list rank (0 = most frequent)
@@ -102,12 +156,14 @@ type miner struct {
 	opts     Options
 	results  []result
 	stop     bool
+	sc       *fpScratch
 
-	// initialTxns holds each transaction as ids sorted by f-list rank.
+	// initialTxns holds each transaction as ids sorted by f-list rank
+	// (slices of one arena).
 	initialTxns [][]int32
 }
 
-func newMiner(ix *itemset.Index, minCount int, opts Options) *miner {
+func newMiner(ix *itemset.Index, minCount int, opts Options, sc *fpScratch) *miner {
 	// Frequent vocabulary from the index's cached popcounts, ordered by
 	// descending count, ties by name+kind for determinism.
 	type ic struct {
@@ -115,9 +171,11 @@ func newMiner(ix *itemset.Index, minCount int, opts Options) *miner {
 		n  int
 	}
 	var freq []ic
+	totalRetained := 0
 	for id := int32(0); int(id) < ix.NumItems(); id++ {
 		if n := ix.Count(id); n >= minCount {
 			freq = append(freq, ic{id, n})
+			totalRetained += n
 		}
 	}
 	sort.Slice(freq, func(i, j int) bool {
@@ -133,6 +191,7 @@ func newMiner(ix *itemset.Index, minCount int, opts Options) *miner {
 		vocab:    make([]itemset.Item, len(freq)),
 		minCount: minCount,
 		opts:     opts,
+		sc:       sc,
 	}
 	// fpID maps index ids to f-list ids (-1 = infrequent).
 	fpID := make([]int32, ix.NumItems())
@@ -151,35 +210,41 @@ func newMiner(ix *itemset.Index, minCount int, opts Options) *miner {
 
 	// Project the index's horizontal transactions onto the frequent
 	// vocabulary, sorted by f-list rank (ascending rank = descending
-	// frequency), which is the insertion order FP-trees require.
+	// frequency), which is the insertion order FP-trees require. Every
+	// retained id of an item appears at most once per transaction, so
+	// the per-item support counts bound the arena exactly.
+	arena := make([]int32, 0, totalRetained)
 	m.initialTxns = make([][]int32, 0, ix.NumTransactions())
 	for _, txn := range ix.Txns() {
-		var ids []int32
+		start := len(arena)
 		for _, id := range txn {
 			if f := fpID[id]; f >= 0 {
-				ids = append(ids, f)
+				arena = append(arena, f)
 			}
 		}
-		if len(ids) == 0 {
+		if len(arena) == start {
 			continue
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		ids := arena[start:len(arena):len(arena)]
+		insertionSortIDs(ids)
 		m.initialTxns = append(m.initialTxns, ids)
 	}
 	return m
 }
 
-func newTree(numItems int) *tree {
-	t := &tree{
-		nodes:  make([]node, 1, 64),
-		header: make([]int32, numItems),
-		counts: make([]int, numItems),
+// insertionSortIDs sorts a short id slice ascending without the closure
+// and interface overhead of sort.Slice — transactions are tens of items
+// at most, where insertion sort is both allocation-free and fastest.
+func insertionSortIDs(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
 	}
-	t.nodes[0] = node{item: -1, parent: -1, child: -1, sibling: -1, hlink: -1}
-	for i := range t.header {
-		t.header[i] = -1
-	}
-	return t
 }
 
 // insert adds an id-sorted transaction with the given count.
@@ -214,8 +279,9 @@ func (t *tree) insert(ids []int32, count int) {
 }
 
 // singlePath returns the item chain if the tree is a single path, else nil.
-func (t *tree) singlePath() []int32 {
-	var path []int32
+// The chain is written into buf to avoid allocating per recursion step.
+func (t *tree) singlePath(buf []int32) []int32 {
+	path := buf[:0]
 	cur := t.nodes[0].child
 	for cur != -1 {
 		if t.nodes[cur].sibling != -1 {
@@ -228,11 +294,19 @@ func (t *tree) singlePath() []int32 {
 }
 
 func (m *miner) run() {
-	t := newTree(len(m.vocab))
+	t := m.sc.getTree(len(m.vocab))
 	for _, txn := range m.initialTxns {
 		t.insert(txn, 1)
 	}
-	m.mine(t, nil)
+	// The suffix stack can never exceed the vocabulary size, so one
+	// full-capacity buffer serves the whole recursion: append at each
+	// level extends in place, never reallocates, and emit copies what it
+	// keeps.
+	if cap(m.sc.suffix) < len(m.vocab) {
+		m.sc.suffix = make([]int32, 0, len(m.vocab)+16)
+	}
+	m.mine(t, m.sc.suffix[:0])
+	m.sc.putTree(t)
 }
 
 // emit records a frequent itemset (suffix + extra ids).
@@ -255,7 +329,10 @@ func (m *miner) mine(t *tree, suffix []int32) {
 	}
 	// Single-path shortcut: every combination of path nodes, joined with
 	// the suffix, is frequent with the minimum count along the selection.
-	if path := t.singlePath(); path != nil {
+	if cap(m.sc.pathBuf) < len(t.nodes) {
+		m.sc.pathBuf = make([]int32, len(t.nodes)+16)
+	}
+	if path := t.singlePath(m.sc.pathBuf); path != nil {
 		m.emitPathCombos(t, path, suffix)
 		return
 	}
@@ -277,13 +354,14 @@ func (m *miner) mine(t *tree, suffix []int32) {
 		}
 
 		// Conditional pattern base: prefix paths of every node of id.
-		cond := newTree(len(m.vocab))
+		cond := m.sc.getTree(len(m.vocab))
 		for n := t.header[id]; n != -1; n = t.nodes[n].hlink {
 			cnt := t.nodes[n].count
-			var prefix []int32
+			prefix := m.sc.prefix[:0]
 			for p := t.nodes[n].parent; p > 0; p = t.nodes[p].parent {
 				prefix = append(prefix, t.nodes[p].item)
 			}
+			m.sc.prefix = prefix[:0] // keep grown capacity
 			if len(prefix) == 0 {
 				continue
 			}
@@ -294,13 +372,14 @@ func (m *miner) mine(t *tree, suffix []int32) {
 			}
 			cond.insert(prefix, cnt)
 		}
-		// Prune infrequent items from the conditional tree by rebuilding
-		// if needed: cheaper approach — only recurse if something is
-		// frequent in cond.
+		// Only recurse if something is frequent in cond; the pruned
+		// rebuild keeps single-path detection and counts exact.
 		if condHasFrequent(cond, m.minCount) {
-			pruned := pruneTree(cond, m.minCount, len(m.vocab))
+			pruned := m.pruneTree(cond)
 			m.mine(pruned, newSuffix)
+			m.sc.putTree(pruned)
 		}
+		m.sc.putTree(cond)
 	}
 }
 
@@ -315,24 +394,31 @@ func condHasFrequent(t *tree, minCount int) bool {
 
 // pruneTree rebuilds a conditional tree keeping only items frequent within
 // it. FP-Growth requires this so that single-path detection and counts stay
-// exact.
-func pruneTree(t *tree, minCount, numItems int) *tree {
-	keep := make([]bool, numItems)
+// exact. The rebuilt tree comes from the recycled pool; the keep mask and
+// path buffer are run-level scratch (dead before any recursion).
+func (m *miner) pruneTree(t *tree) *tree {
+	numItems := len(m.vocab)
+	if cap(m.sc.keep) < numItems {
+		m.sc.keep = make([]bool, numItems)
+	}
+	keep := m.sc.keep[:numItems]
 	any := false
 	for id, c := range t.counts {
-		if c >= minCount {
-			keep[id] = true
-			any = true
-		}
+		keep[id] = c >= m.minCount
+		any = any || keep[id]
 	}
-	out := newTree(numItems)
+	out := m.sc.getTree(numItems)
 	if !any {
 		return out
 	}
-	// Re-extract transactions: walk each leaf-to-root path once per
-	// node's own count minus children sum. Simpler exact method: traverse
-	// all nodes; each node contributes (node count - sum of child counts)
-	// paths ending at that node.
+	// Re-extract transactions: traverse all nodes; each node contributes
+	// (node count - sum of child counts) paths ending at that node. The
+	// path stack lives in one recycled full-depth buffer: sibling
+	// branches overwrite each other's tail and insert copies what it
+	// keeps, so the walk never allocates.
+	if cap(m.sc.walkBuf) < numItems {
+		m.sc.walkBuf = make([]int32, 0, numItems+16)
+	}
 	var walk func(idx int32, path []int32)
 	walk = func(idx int32, path []int32) {
 		n := t.nodes[idx]
@@ -350,7 +436,7 @@ func pruneTree(t *tree, minCount, numItems int) *tree {
 			}
 		}
 	}
-	walk(0, nil)
+	walk(0, m.sc.walkBuf[:0])
 	return out
 }
 
@@ -378,14 +464,24 @@ func (m *miner) emitPathCombos(t *tree, path []int32, suffix []int32) {
 			maxExtra = n
 		}
 	}
-	// Enumerate subsets via recursion to respect MaxLen cheaply.
+	// Enumerate subsets via recursion to respect MaxLen cheaply. chosen
+	// grows into a preallocated buffer; emit copies, so siblings safely
+	// overwrite each other's tail.
+	if cap(m.sc.chosen) < n {
+		m.sc.chosen = make([]int32, 0, n+16)
+	}
+	chosenBuf := m.sc.chosen[:0]
 	var rec func(start int, chosen []int32, minCount int)
 	rec = func(start int, chosen []int32, minCount int) {
 		if m.stop {
 			return
 		}
 		if len(chosen) > 0 {
-			m.emit(append(append([]int32{}, suffix...), chosen...), minCount)
+			// Stage suffix+chosen in the recycled combo buffer; emit
+			// copies what it records.
+			buf := append(append(m.sc.comboBuf[:0], suffix...), chosen...)
+			m.sc.comboBuf = buf[:0]
+			m.emit(buf, minCount)
 		}
 		if len(chosen) >= maxExtra {
 			return
@@ -400,5 +496,5 @@ func (m *miner) emitPathCombos(t *tree, path []int32, suffix []int32) {
 			rec(i+1, append(chosen, t.nodes[nodeIdx].item), nm)
 		}
 	}
-	rec(0, nil, 1<<62)
+	rec(0, chosenBuf, 1<<62)
 }

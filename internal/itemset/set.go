@@ -1,6 +1,7 @@
 package itemset
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -32,6 +33,24 @@ func NewSet(items ...Item) Set {
 		}
 	}
 	return Set{items: out}
+}
+
+// SetFromSorted wraps items already in canonical order (sorted by
+// Item.Less, no duplicates) without copying — the flat artifact codec
+// uses it to build pattern sets that subslice one decoded arena. The
+// order is verified in O(n); any violation is an error, so a corrupted
+// payload surfaces as a decode failure instead of a malformed Set. The
+// caller must not modify items afterwards.
+func SetFromSorted(items []Item) (Set, error) {
+	for i := 1; i < len(items); i++ {
+		if !items[i-1].Less(items[i]) {
+			return Set{}, fmt.Errorf("itemset: items not in canonical order at %d: %v !< %v", i, items[i-1], items[i])
+		}
+	}
+	if len(items) == 0 {
+		return Set{}, nil
+	}
+	return Set{items: items}, nil
 }
 
 // FromNames builds a set of items of one kind from raw names.

@@ -1,0 +1,121 @@
+package miner_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cuisines/internal/corpus"
+	"cuisines/internal/itemset"
+	"cuisines/internal/miner"
+)
+
+// The index-mode equivalence suite: the dense and chunked bitmap
+// layouts are pure representation choices, so every miner must emit
+// byte-identical sorted pattern sets from either — the same invariant
+// the backend-agreement tests pin across miners, pinned here across
+// layouts. Together with those tests this closes the square: any
+// (miner, layout) pair is exchangeable for any other.
+
+// TestIndexModesByteIdenticalOnCorpus mines every corpus region through
+// both layouts at the Table I support thresholds, with all three
+// backends.
+func TestIndexModesByteIdenticalOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep is slow")
+	}
+	db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, region := range db.Regions() {
+		d := db.RegionDataset(region)
+		dense := itemset.NewIndexMode(d, itemset.ModeDense)
+		chunked := itemset.NewIndexMode(d, itemset.ModeChunked)
+		if dense.Mode() != itemset.ModeDense || chunked.Mode() != itemset.ModeChunked {
+			t.Fatalf("region %q: requested modes not honored", region)
+		}
+		for _, sup := range []float64{0.2, 0.35} {
+			for _, m := range miner.All() {
+				got := encodePatterns(t, m.Mine(dense, sup))
+				want := encodePatterns(t, m.Mine(chunked, sup))
+				if !bytes.Equal(got, want) {
+					t.Errorf("region %q sup %g: %s output differs between dense and chunked index",
+						region, sup, m.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestIndexModesAgreeOnRandomDensityRegimes is the randomized
+// counterpart: synthetic datasets spanning the density regimes that
+// pick different container forms — near-universal items (dense words /
+// bitmap containers), mid-frequency items (array containers near the
+// flip threshold), rare items (short arrays) — plus a multi-chunk
+// universe, mined through both layouts by every backend.
+func TestIndexModesAgreeOnRandomDensityRegimes(t *testing.T) {
+	r := rand.New(rand.NewSource(20200808))
+	type regime struct {
+		nTxn  int
+		probs []float64 // per-item transaction membership probability
+	}
+	regimes := []regime{
+		{nTxn: 40, probs: []float64{0.9, 0.7, 0.5, 0.3, 0.3, 0.1}},
+		{nTxn: 800, probs: []float64{0.95, 0.6, 0.4, 0.2, 0.1, 0.05, 0.05, 0.01}},
+		{nTxn: 5000, probs: []float64{0.9, 0.5, 0.3, 0.08, 0.03, 0.01, 0.005}},
+		// Multi-chunk: the universe spans two 2^16-tid chunks.
+		{nTxn: 70_000, probs: []float64{0.7, 0.4, 0.35, 0.1, 0.02}},
+	}
+	sups := []float64{0.05, 0.15, 0.3}
+	for ri, rg := range regimes {
+		txns := make([]itemset.Transaction, rg.nTxn)
+		for i := range txns {
+			var items []itemset.Item
+			for j, p := range rg.probs {
+				if r.Float64() < p {
+					items = append(items, itemset.NewItem(string(rune('a'+j)), itemset.Kind(j%3)))
+				}
+			}
+			txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+		}
+		d := itemset.NewDataset(txns)
+		dense := itemset.NewIndexMode(d, itemset.ModeDense)
+		chunked := itemset.NewIndexMode(d, itemset.ModeChunked)
+		sup := sups[ri%len(sups)]
+		for _, m := range miner.All() {
+			got := encodePatterns(t, m.Mine(dense, sup))
+			want := encodePatterns(t, m.Mine(chunked, sup))
+			if !bytes.Equal(got, want) {
+				t.Errorf("regime %d (txns=%d) sup %g: %s output differs between dense and chunked index",
+					ri, rg.nTxn, sup, m.Name())
+			}
+		}
+	}
+}
+
+// TestAutoModeMatchesExplicitModes pins ModeAuto to being exactly a
+// selection between the two explicit layouts — whatever it picks, the
+// mined output must match both.
+func TestAutoModeMatchesExplicitModes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	txns := make([]itemset.Transaction, 2000)
+	for i := range txns {
+		var items []itemset.Item
+		for j, p := range []float64{0.8, 0.3, 0.1, 0.02, 0.01} {
+			if r.Float64() < p {
+				items = append(items, itemset.NewItem(string(rune('a'+j)), itemset.Ingredient))
+			}
+		}
+		txns[i] = itemset.Transaction{Items: itemset.NewSet(items...)}
+	}
+	d := itemset.NewDataset(txns)
+	auto := itemset.NewIndexMode(d, itemset.ModeAuto)
+	dense := itemset.NewIndexMode(d, itemset.ModeDense)
+	for _, m := range miner.All() {
+		got := encodePatterns(t, m.Mine(auto, 0.05))
+		if !bytes.Equal(got, encodePatterns(t, m.Mine(dense, 0.05))) {
+			t.Errorf("%s: auto-mode output differs from dense", m.Name())
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"cuisines/internal/artifact"
 	"cuisines/internal/authenticity"
 	"cuisines/internal/core"
-	"cuisines/internal/distance"
 	"cuisines/internal/encode"
 	"cuisines/internal/kmeans"
 	"cuisines/internal/recipedb"
@@ -58,22 +57,22 @@ type PatternFeatures struct {
 // The stage codecs. Kind strings are the stage names reported by
 // cachestats and used in artifact file names.
 //
-// The mine codec and everything downstream of it are at version 2: the
-// miner-backend layer tightened SortPatterns' tie-break (same-name
-// items of different kinds are now ordered by the kind-aware set key),
-// so pattern slices persisted by version-1 binaries may order such
-// ties differently. The mine key is deliberately backend-agnostic and
-// unchanged, so the bump is what keeps a warm-disk restart from
-// replaying a pre-tie-break artifact — and the stale order from
-// propagating into matrices, distances, trees, the elbow curve and the
-// validation, whose contents all derive from the pattern order.
+// Version history. Everything downstream of mine went to version 2 when
+// the miner-backend layer tightened SortPatterns' tie-break (same-name
+// items of different kinds are now ordered by the kind-aware set key).
+// The large numeric artifacts — mine, matrices, pdist, geodist — then
+// moved from gob to the flat codecs of flat.go (mine and matrices to
+// version 3, pdist to 3, geodist to 2): a new encoded shape, so the
+// bump orphans old gob files and a warm-disk restart recomputes them
+// once instead of misreading them. Keys are unchanged — the flat
+// encoding is a representation change, not a semantic one.
 var (
 	corpusCodec   = gobCodec[*recipedb.DB]{kind: "corpus", version: 1}
-	mineCodec     = gobCodec[[]core.RegionPatterns]{kind: "mine", version: 2}
-	matricesCodec = gobCodec[*PatternFeatures]{kind: "matrices", version: 2}
+	mineCodec     = flatCodec{kind: "mine", version: 3, appendFn: appendMine, decodeFn: decodeMine}
+	matricesCodec = flatCodec{kind: "matrices", version: 3, appendFn: appendMatrices, decodeFn: decodeMatrices}
 	authCodec     = gobCodec[*authenticity.Matrix]{kind: "auth", version: 1}
-	pdistCodec    = gobCodec[*distance.Condensed]{kind: "pdist", version: 2}
-	geodistCodec  = gobCodec[*distance.Condensed]{kind: "geodist", version: 1}
+	pdistCodec    = flatCodec{kind: "pdist", version: 3, appendFn: appendCondensed, decodeFn: decodeCondensed}
+	geodistCodec  = flatCodec{kind: "geodist", version: 2, appendFn: appendCondensed, decodeFn: decodeCondensed}
 	treeCodec     = gobCodec[*core.CuisineTree]{kind: "tree", version: 2}
 	elbowCodec    = gobCodec[*kmeans.ElbowCurve]{kind: "elbow", version: 2}
 	validateCodec = gobCodec[*core.Validation]{kind: "validate", version: 2}
@@ -81,7 +80,7 @@ var (
 
 // stage resolves one typed stage through the store: memory tier, disk
 // tier, then compute, single-flight per key.
-func stage[T any](s *artifact.Store, key string, codec gobCodec[T], compute func() (T, error)) (T, error) {
+func stage[T any](s *artifact.Store, key string, codec artifact.Codec, compute func() (T, error)) (T, error) {
 	v, err := s.GetOrCompute(key, codec, func() (any, error) { return compute() })
 	if err != nil {
 		var zero T

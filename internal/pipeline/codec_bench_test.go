@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"cuisines/internal/core"
+	"cuisines/internal/corpus"
+	"cuisines/internal/distance"
+)
+
+// P7 (DESIGN.md §10): the artifact codec benchmark. For each large
+// numeric artifact it measures the retired gob path against the flat
+// codec, encode and decode separately, with -benchmem — the gob
+// sub-benchmarks are the committed "before" evidence in BENCH_6.json,
+// and the decode allocs/op columns are the headline: flat decodes in
+// O(1) large allocations where gob allocates per element.
+
+var codecFixOnce sync.Once
+var codecFix struct {
+	mined []core.RegionPatterns
+	feats *PatternFeatures
+	pdist *distance.Condensed
+	err   error
+}
+
+func codecFixtures(tb testing.TB) ([]core.RegionPatterns, *PatternFeatures, *distance.Condensed) {
+	codecFixOnce.Do(func() {
+		db, err := corpus.Generate(corpus.Config{Seed: corpus.DefaultSeed, Scale: testScale})
+		if err != nil {
+			codecFix.err = err
+			return
+		}
+		mined, err := core.MineRegions(db, core.DefaultMinSupport)
+		if err != nil {
+			codecFix.err = err
+			return
+		}
+		t1, pm, err := core.BuildPatternFeatures(mined, core.DefaultMinSupport)
+		if err != nil {
+			codecFix.err = err
+			return
+		}
+		codecFix.mined = mined
+		codecFix.feats = &PatternFeatures{Table1: t1, Matrix: pm}
+		codecFix.pdist = distance.PdistWorkers(pm.X, distance.Euclidean, 0)
+	})
+	if codecFix.err != nil {
+		tb.Fatal(codecFix.err)
+	}
+	return codecFix.mined, codecFix.feats, codecFix.pdist
+}
+
+func BenchmarkArtifactCodecs(b *testing.B) {
+	mined, feats, pd := codecFixtures(b)
+	cases := []struct {
+		name string
+		gob  interface {
+			Kind() string
+			Version() int
+			encodeTo(*bytes.Buffer, any) error
+			decodeFrom([]byte) (any, error)
+		}
+		flat flatCodec
+		v    any
+	}{
+		{"mine", gobBench[[]core.RegionPatterns]{}, mineCodec, mined},
+		{"matrices", gobBench[*PatternFeatures]{}, matricesCodec, feats},
+		{"pdist", gobBench[*distance.Condensed]{}, pdistCodec, pd},
+	}
+	for _, c := range cases {
+		var gobBytes bytes.Buffer
+		if err := c.gob.encodeTo(&gobBytes, c.v); err != nil {
+			b.Fatal(err)
+		}
+		flatBytes, err := c.flat.AppendEncode(nil, c.v)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(c.name+"/gob-encode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(gobBytes.Len()))
+			var buf bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := c.gob.encodeTo(&buf, c.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/gob-decode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(gobBytes.Len()))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.gob.decodeFrom(gobBytes.Bytes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/flat-encode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(flatBytes)))
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = c.flat.AppendEncode(dst[:0], c.v)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/flat-decode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(flatBytes)))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.flat.DecodeBytes(flatBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// gobBench adapts the retired gob path (what mineCodec & co. were
+// before the flat codecs) for benchmarking against them.
+type gobBench[T any] struct{}
+
+func (gobBench[T]) Kind() string { return "bench" }
+func (gobBench[T]) Version() int { return 0 }
+
+func (gobBench[T]) encodeTo(buf *bytes.Buffer, v any) error {
+	return gobCodec[T]{kind: "bench", version: 0}.Encode(buf, v)
+}
+
+func (gobBench[T]) decodeFrom(data []byte) (any, error) {
+	return gobCodec[T]{kind: "bench", version: 0}.Decode(bytes.NewReader(data))
+}

@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cuisines/internal/artifact"
+	"cuisines/internal/core"
+	"cuisines/internal/distance"
+)
+
+// roundTrip encodes v with c and decodes the result.
+func roundTrip(t *testing.T, c flatCodec, v any) any {
+	t.Helper()
+	data, err := c.AppendEncode(nil, v)
+	if err != nil {
+		t.Fatalf("%s encode: %v", c.kind, err)
+	}
+	got, err := c.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("%s decode: %v", c.kind, err)
+	}
+	return got
+}
+
+// TestFlatRoundTripIdentity locks the flat codecs to the gob semantics
+// they replaced: a flat round-trip must reproduce the artifact exactly
+// — every pattern, count and bit-exact float — and agree with what a
+// gob round-trip of the same value produces.
+func TestFlatRoundTripIdentity(t *testing.T) {
+	mined, feats, pd := codecFixtures(t)
+
+	got := roundTrip(t, mineCodec, mined).([]core.RegionPatterns)
+	if !reflect.DeepEqual(got, mined) {
+		t.Error("mine: flat round-trip differs from original")
+	}
+	gobGot, err := gobBench[[]core.RegionPatterns]{}.decodeFrom(mustGob(t, mined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, gobGot) {
+		t.Error("mine: flat round-trip differs from gob round-trip")
+	}
+
+	gotF := roundTrip(t, matricesCodec, feats).(*PatternFeatures)
+	if gotF.Table1.String() != feats.Table1.String() {
+		t.Error("matrices: Table1 differs after flat round-trip")
+	}
+	if !reflect.DeepEqual(gotF.Matrix.Regions, feats.Matrix.Regions) ||
+		!reflect.DeepEqual(gotF.Matrix.Vocabulary, feats.Matrix.Vocabulary) {
+		t.Error("matrices: labels differ after flat round-trip")
+	}
+	if !reflect.DeepEqual(gotF.Matrix.X, feats.Matrix.X) {
+		t.Error("matrices: feature matrix differs after flat round-trip")
+	}
+
+	gotD := roundTrip(t, pdistCodec, pd).(*distance.Condensed)
+	if !reflect.DeepEqual(gotD, pd) {
+		t.Error("pdist: flat round-trip differs from original")
+	}
+}
+
+func mustGob(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf strings.Builder
+	if err := (gobCodec[[]core.RegionPatterns]{kind: "bench"}).Encode(&buf, v.([]core.RegionPatterns)); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(buf.String())
+}
+
+// TestFlatDecodeRejectsDamage feeds the decoder every damage class the
+// disk tier can hand it — truncations at each boundary, a flipped body
+// byte, bad magic, trailing garbage — and requires an error each time
+// (the store maps codec errors to cache misses; a malformed Set or a
+// silent wrong answer would poison everything downstream).
+func TestFlatDecodeRejectsDamage(t *testing.T) {
+	mined, feats, pd := codecFixtures(t)
+	for _, tc := range []struct {
+		name  string
+		codec flatCodec
+		v     any
+	}{
+		{"mine", mineCodec, mined},
+		{"matrices", matricesCodec, feats},
+		{"pdist", pdistCodec, pd},
+	} {
+		data, err := tc.codec.AppendEncode(nil, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncation at every prefix length would be slow for MB
+		// payloads; probe the structural boundaries and a spread.
+		cuts := []int{0, 3, 4, 7, 8, 9, len(data) / 4, len(data) / 2, len(data) - 1}
+		for _, n := range cuts {
+			if n >= len(data) {
+				continue
+			}
+			if _, err := tc.codec.DecodeBytes(data[:n]); err == nil {
+				t.Errorf("%s: truncation to %d bytes decoded without error", tc.name, n)
+			}
+		}
+		for _, flip := range []int{0, 5, 8 + (len(data)-8)/2, len(data) - 1} {
+			bad := append([]byte(nil), data...)
+			bad[flip] ^= 0x40
+			if _, err := tc.codec.DecodeBytes(bad); err == nil {
+				t.Errorf("%s: flipped byte %d decoded without error", tc.name, flip)
+			}
+		}
+		if _, err := tc.codec.DecodeBytes(append(append([]byte(nil), data...), 0xEE)); err == nil {
+			t.Errorf("%s: trailing garbage decoded without error", tc.name)
+		}
+	}
+}
+
+// TestFlatCorruptDiskArtifactRecomputes is the store-level half of the
+// damage story: corrupt the artifact file on disk, restart the store,
+// and the stage must silently recompute — never fail, never serve the
+// corrupted value.
+func TestFlatCorruptDiskArtifactRecomputes(t *testing.T) {
+	mined, _, _ := codecFixtures(t)
+	dir := t.TempDir()
+	key := artifact.Key("mine", "flat-corrupt-test")
+
+	s := artifact.NewStore(artifact.Options{Dir: dir})
+	computes := 0
+	compute := func() (any, error) { computes++; return mined, nil }
+	if _, err := s.GetOrCompute(key, mineCodec, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("cold run computed %d times", computes)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "mine-*.art"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("artifact files on disk: %v (err %v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the payload body, past the store's header.
+	data[len(data)-10] ^= 0x01
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := artifact.NewStore(artifact.Options{Dir: dir})
+	v, err := s2.GetOrCompute(key, mineCodec, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 2 {
+		t.Errorf("corrupted warm-disk run computed %d times, want 2 (recompute)", computes)
+	}
+	if !reflect.DeepEqual(v, mined) {
+		t.Error("recomputed artifact differs from original")
+	}
+	if st := s2.Stats()["mine"]; st.DiskHits != 0 {
+		t.Errorf("corrupted artifact counted as disk hit: %+v", st)
+	}
+}
+
+// TestFlatVersionBumpWarmRestart locks the upgrade path this PR itself
+// takes: a store directory holding only old-version artifacts (the gob
+// era) must be treated as cold by the bumped flat codecs — recompute
+// once, write the new file, then serve warm from it.
+func TestFlatVersionBumpWarmRestart(t *testing.T) {
+	mined, _, _ := codecFixtures(t)
+	dir := t.TempDir()
+	key := artifact.Key("mine", "flat-version-test")
+
+	// The "old binary": same kind, previous version, gob encoding.
+	old := gobCodec[[]core.RegionPatterns]{kind: "mine", version: mineCodec.version - 1}
+	s := artifact.NewStore(artifact.Options{Dir: dir})
+	if _, err := s.GetOrCompute(key, old, func() (any, error) { return mined, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "new binary" restarts over the same directory.
+	computes := 0
+	s2 := artifact.NewStore(artifact.Options{Dir: dir})
+	v, err := s2.GetOrCompute(key, mineCodec, func() (any, error) { computes++; return mined, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("version-bumped warm restart computed %d times, want 1", computes)
+	}
+	if !reflect.DeepEqual(v, mined) {
+		t.Error("recomputed artifact differs from original")
+	}
+
+	// Second restart: the new-version file written above must now hit.
+	s3 := artifact.NewStore(artifact.Options{Dir: dir})
+	v, err = s3.GetOrCompute(key, mineCodec, func() (any, error) { computes++; return mined, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Errorf("second warm restart recomputed (computes=%d); flat file not served", computes)
+	}
+	if !reflect.DeepEqual(v, mined) {
+		t.Error("flat warm-disk artifact differs from original")
+	}
+	if st := s3.Stats()["mine"]; st.DiskHits != 1 {
+		t.Errorf("flat warm-disk load not counted as disk hit: %+v", st)
+	}
+}
