@@ -1,0 +1,216 @@
+// Command cuisinelint runs the project's invariant analyzers
+// (internal/lint: mapiter, wallclock, canonfields, codecver, nakedgo)
+// over Go packages. It is one binary with two faces:
+//
+//   - invoked by `go vet -vettool=cuisinelint`, it speaks the
+//     unitchecker protocol (-V, -flags, per-package .cfg files), which
+//     is how the toolchain hands it fully type-checked packages and
+//     propagates analysis facts across package boundaries;
+//   - invoked directly with package patterns (`cuisinelint ./...`), it
+//     re-executes itself through `go vet -vettool=<self>`, so the
+//     standalone form needs no package-loading machinery of its own —
+//     the build environment has no network access for go/packages, and
+//     the toolchain already owns package loading.
+//
+// With -json it aggregates the per-package JSON objects go vet streams
+// into one stable cuisinelint/v1 document on stdout and exits 1 iff
+// there are findings, so CI and trajectory tooling can diff finding
+// counts across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"cuisines/internal/lint"
+)
+
+func main() {
+	if vetToolInvocation(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers...) // exits
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// vetToolInvocation recognizes the unitchecker protocol: go vet probes
+// the tool with -V=full and -flags, then invokes it once per package
+// with a generated .cfg file.
+func vetToolInvocation(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("cuisinelint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit one aggregated JSON document on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cuisinelint [-json] [packages]\n\nRuns the cuisines invariant analyzers (%s)\nover the packages (default ./...). Also usable as go vet -vettool=cuisinelint.\n\n", analyzerNames())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cuisinelint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if *jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	if !*jsonOut {
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); ok {
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "cuisinelint: go vet: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	// go vet relays each unitchecker invocation's output — the JSON
+	// included — on its stderr, interleaved with "# pkg" headers and
+	// any build errors. Capture it all, extract the JSON, and forward
+	// the rest so build failures stay visible.
+	var buf strings.Builder
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+	if runErr != nil {
+		if _, ok := runErr.(*exec.ExitError); !ok {
+			fmt.Fprintf(os.Stderr, "cuisinelint: go vet: %v\n", runErr)
+			return 2
+		}
+		// In -json mode unitchecker exits 0 even with findings, so a
+		// nonzero exit means a real failure (usually a build error);
+		// the noise forwarded below says what broke.
+	}
+	jsonPart, noise := splitVetStderr(buf.String())
+	if noise != "" {
+		fmt.Fprint(os.Stderr, noise)
+	}
+	if runErr != nil {
+		return 2
+	}
+	doc, findings, perr := mergeJSON(jsonPart)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "cuisinelint: parsing go vet -json output: %v\n", perr)
+		return 2
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "cuisinelint: %v\n", err)
+		return 2
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+func analyzerNames() string {
+	names := make([]string, len(lint.Analyzers))
+	for i, a := range lint.Analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// diagnostic mirrors analysisflags' JSON shape for one finding.
+type diagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// report is the aggregated cuisinelint/v1 document.
+type report struct {
+	Version  string                             `json:"version"`
+	Findings int                                `json:"findings"`
+	Packages map[string]map[string][]diagnostic `json:"packages"`
+}
+
+// splitVetStderr separates unitchecker's pretty-printed JSON objects
+// from everything else on go vet's stderr. The objects are printed
+// with top-level braces in column 0 and tab-indented bodies, so a
+// column-0 brace scan recovers them exactly; "# pkg" headers and
+// build-error lines land in noise.
+func splitVetStderr(raw string) (jsonPart, noise string) {
+	var js, ns strings.Builder
+	capturing := false
+	for _, line := range strings.Split(raw, "\n") {
+		switch {
+		case !capturing && strings.HasPrefix(line, "{"):
+			js.WriteString(line)
+			js.WriteString("\n")
+			// single-line objects ("{}") open and close at once
+			capturing = !strings.HasSuffix(strings.TrimSpace(line), "}")
+		case capturing:
+			js.WriteString(line)
+			js.WriteString("\n")
+			if strings.HasPrefix(line, "}") {
+				capturing = false
+			}
+		case line != "" && !strings.HasPrefix(line, "#"):
+			ns.WriteString(line)
+			ns.WriteString("\n")
+		}
+	}
+	return js.String(), ns.String()
+}
+
+// mergeJSON folds the stream of per-package JSON objects emitted by
+// unitchecker ({"pkgpath": {"analyzer": [diag, ...]}}) into one
+// document.
+func mergeJSON(raw string) (*report, int, error) {
+	doc := &report{Version: "cuisinelint/v1", Packages: map[string]map[string][]diagnostic{}}
+	dec := json.NewDecoder(strings.NewReader(raw))
+	total := 0
+	for {
+		var obj map[string]map[string][]diagnostic
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, 0, err
+		}
+		for pkg, byAnalyzer := range obj {
+			dst := doc.Packages[pkg]
+			if dst == nil {
+				dst = map[string][]diagnostic{}
+			}
+			for name, diags := range byAnalyzer {
+				if len(diags) == 0 {
+					continue
+				}
+				dst[name] = append(dst[name], diags...)
+				total += len(diags)
+			}
+			if len(dst) > 0 {
+				doc.Packages[pkg] = dst
+			}
+		}
+	}
+	doc.Findings = total
+	return doc, total, nil
+}

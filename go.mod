@@ -1,3 +1,9 @@
 module cuisines
 
 go 1.24
+
+// golang.org/x/tools is vendored (vendor/) from the Go 1.24 toolchain's
+// own cmd/vendor copy — the build environment has no network access, and
+// the toolchain ships exactly the go/analysis + unitchecker subset
+// cmd/cuisinelint needs. See DESIGN.md §11.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

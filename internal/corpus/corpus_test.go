@@ -99,6 +99,23 @@ func TestGenerateUnknownRegion(t *testing.T) {
 	}
 }
 
+// TestGenerateUnknownRegionDeterministicError pins the mapiter fix:
+// the error used to name an arbitrary unknown region picked by map
+// iteration order, so the same bad input produced different messages
+// run to run. It must now name all of them, sorted.
+func TestGenerateUnknownRegionDeterministicError(t *testing.T) {
+	want := `corpus: unknown region "Atlantis, Mu, Narnia"`
+	for i := 0; i < 10; i++ {
+		_, err := Generate(Config{Seed: 1, Regions: []string{"Narnia", "Atlantis", "Thai", "Mu"}})
+		if err == nil {
+			t.Fatal("unknown regions accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error %q, want %q", i, err.Error(), want)
+		}
+	}
+}
+
 func TestGenerateScaleControlsSize(t *testing.T) {
 	db, err := Generate(Config{Seed: 3, Scale: 0.05, Regions: []string{"Italian"}})
 	if err != nil {

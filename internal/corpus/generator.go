@@ -129,9 +129,14 @@ func selectProfiles(regions []string) ([]Profile, error) {
 		}
 	}
 	if len(want) > 0 {
+		// Name every unknown region, sorted: picking one via map
+		// iteration made the error message differ run to run.
+		missing := make([]string, 0, len(want))
 		for r := range want {
-			return nil, fmt.Errorf("corpus: unknown region %q", r)
+			missing = append(missing, r)
 		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("corpus: unknown region %q", strings.Join(missing, ", "))
 	}
 	return out, nil
 }

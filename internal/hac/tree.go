@@ -63,6 +63,7 @@ func BuildTree(lk *Linkage, labels []string) (*Tree, error) {
 		return nil, fmt.Errorf("hac: linkage does not form a single tree (%d roots)", len(nodes))
 	}
 	var root *Node
+	//lint:allow mapiter single-entry map (len(nodes) == 1 checked above), so every order yields the same root
 	for _, v := range nodes {
 		root = v
 	}

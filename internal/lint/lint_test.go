@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cuisines/internal/lint"
+	"cuisines/internal/lint/linttest"
+)
+
+// findLine locates the 1-based line whose trimmed text equals needle —
+// used to pin expectations for diagnostics reported at //lint:
+// directive lines, where a trailing // want comment would be parsed
+// as the directive's reason.
+func findLine(t *testing.T, path, needle string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == needle {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: no line equal to %q", path, needle)
+	return 0
+}
+
+func TestMapIter(t *testing.T) {
+	reasonless := findLine(t,
+		filepath.Join("testdata", "mapiter", "src", "cuisines", "internal", "core", "a.go"),
+		"//lint:allow mapiter")
+	linttest.Run(t, "testdata/mapiter", lint.MapIter, "cuisines/internal/core",
+		linttest.Expect{File: "a.go", Line: reasonless, Re: `needs a reason`})
+}
+
+func TestMapIterOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/mapiter", lint.MapIter, "cuisines/internal/server")
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/corpus")
+}
+
+func TestWallClockOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/server")
+}
+
+func TestNakedGo(t *testing.T) {
+	linttest.Run(t, "testdata/nakedgo", lint.NakedGo, "cuisines/internal/hac")
+}
+
+func TestCanonFieldsOptions(t *testing.T) {
+	auditor := findLine(t,
+		filepath.Join("testdata", "canonfields", "src", "cuisines", "a.go"),
+		"//lint:allow notananalyzer the auditor must report this unknown name")
+	linttest.Run(t, "testdata/canonfields", lint.CanonFields, "cuisines",
+		linttest.Expect{File: "a.go", Line: auditor, Re: `unknown analyzer "notananalyzer"`})
+}
+
+func TestCanonFieldsParams(t *testing.T) {
+	linttest.Run(t, "testdata/canonfields", lint.CanonFields, "cuisines/internal/pipeline")
+}
+
+func TestCodecVer(t *testing.T) {
+	linttest.Run(t, "testdata/codecver", lint.CodecVer, "cuisines/internal/pipeline")
+}

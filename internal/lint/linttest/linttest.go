@@ -1,0 +1,325 @@
+// Package linttest is a minimal analysistest replacement for the
+// internal/lint analyzers. The build environment vendors x/tools'
+// go/analysis core from the Go toolchain, which does not ship
+// analysistest or go/packages, so this harness does the three things
+// the lint tests need and nothing more:
+//
+//   - load a GOPATH-style fixture tree (testdata/<case>/src/<pkgpath>)
+//     with go/parser + go/types, resolving fixture-local imports from
+//     the tree and everything else through the source importer;
+//   - run an analyzer (and its Requires) over the fixture packages in
+//     dependency order, with working package facts, so cross-package
+//     checks like codecver's magic-uniqueness are testable;
+//   - diff the diagnostics against analysistest-style
+//     `// want "regexp"` comments (plus explicit Expect values for
+//     diagnostics that land on //lint: directive lines, where a
+//     trailing comment would be parsed as the directive's reason).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Expect is an explicit expectation for a diagnostic that cannot carry
+// a trailing // want comment (typically one reported at a //lint:
+// directive).
+type Expect struct {
+	File string // base name, e.g. "a.go"
+	Line int
+	Re   string
+}
+
+// Run loads dir/src/<pkgPath>, runs a over it (deps first), and
+// reports any mismatch between the diagnostics and the fixture's
+// // want comments plus extra expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string, extra ...Expect) {
+	t.Helper()
+	l := newLoader(t, dir)
+	target := l.load(pkgPath)
+
+	var diags []analysis.Diagnostic
+	for _, p := range l.order {
+		got := l.runAnalyzer(a, p)
+		if p == target {
+			diags = got
+		}
+	}
+
+	checkExpectations(t, l.fset, target, diags, extra)
+}
+
+type loadedPkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	t     *testing.T
+	dir   string
+	fset  *token.FileSet
+	std   types.Importer
+	pkgs  map[string]*loadedPkg
+	order []*loadedPkg // dependency order: deps before importers
+	facts map[factKey]analysis.Fact
+	// results memoizes analyzer runs per (analyzer, package) so
+	// Requires are computed once.
+	results map[resultKey]any
+}
+
+type factKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+type resultKey struct {
+	a *analysis.Analyzer
+	p *loadedPkg
+}
+
+func newLoader(t *testing.T, dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:       t,
+		dir:     dir,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loadedPkg{},
+		facts:   map[factKey]analysis.Fact{},
+		results: map[resultKey]any{},
+	}
+}
+
+// Import implements types.Importer: fixture-local packages come from
+// the testdata tree, everything else from the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(l.srcDir(path)); err == nil {
+		return l.load(path).pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) srcDir(pkgPath string) string {
+	return filepath.Join(l.dir, "src", filepath.FromSlash(pkgPath))
+}
+
+func (l *loader) load(pkgPath string) *loadedPkg {
+	l.t.Helper()
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p
+	}
+	srcDir := l.srcDir(pkgPath)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", pkgPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("fixture %s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("fixture %s: no Go files in %s", pkgPath, srcDir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("fixture %s: type error: %v", pkgPath, err)
+	}
+	p := &loadedPkg{path: pkgPath, pkg: pkg, files: files, info: info}
+	l.pkgs[pkgPath] = p
+	// Imports were loaded first through Import above, so appending
+	// here yields dependency order.
+	l.order = append(l.order, p)
+	return p
+}
+
+// runAnalyzer executes a (running its Requires first) over p and
+// returns the diagnostics.
+func (l *loader) runAnalyzer(a *analysis.Analyzer, p *loadedPkg) []analysis.Diagnostic {
+	l.t.Helper()
+	var diags []analysis.Diagnostic
+	l.run(a, p, &diags)
+	return diags
+}
+
+func (l *loader) run(a *analysis.Analyzer, p *loadedPkg, sink *[]analysis.Diagnostic) any {
+	l.t.Helper()
+	key := resultKey{a, p}
+	if res, ok := l.results[key]; ok {
+		return res
+	}
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, req := range a.Requires {
+		resultOf[req] = l.run(req, p, nil)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			if sink != nil {
+				*sink = append(*sink, d)
+			}
+		},
+		ReadFile: os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return false
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {},
+		AllObjectFacts:   func() []analysis.ObjectFact { return nil },
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			got, ok := l.facts[factKey{pkg, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+			return true
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, f := range l.facts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+			return out
+		},
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		l.facts[factKey{p.pkg, reflect.TypeOf(fact)}] = fact
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		l.t.Fatalf("%s on %s: %v", a.Name, p.path, err)
+	}
+	l.results[key] = res
+	return res
+}
+
+// wantRe matches one or more quoted or backquoted regexps after
+// "want" in a comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations diffs diagnostics against // want comments (and
+// explicit extras) keyed by (base filename, line).
+func checkExpectations(t *testing.T, fset *token.FileSet, p *loadedPkg, diags []analysis.Diagnostic, extra []Expect) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*expectation{}
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, e := range extra {
+		re, err := regexp.Compile(e.Re)
+		if err != nil {
+			t.Fatalf("bad expectation %q: %v", e.Re, err)
+		}
+		wants[lineKey{e.File, e.Line}] = append(wants[lineKey{e.File, e.Line}], &expectation{re: re})
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{filepath.Base(pos.Filename), pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	keys := make([]lineKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// Fprint is a debugging helper for fixture authors: it renders the
+// diagnostics an analyzer produced on a fixture package.
+func Fprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

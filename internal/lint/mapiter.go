@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapIter flags `for range` over a map in deterministic packages: Go
+// randomizes map iteration order per run, so any order that escapes
+// the loop breaks the byte-identity contract — the exact bug class the
+// PR 1/4/6 equivalence tests exist to catch, surfaced here at compile
+// time instead.
+//
+// Approved shapes that are not flagged:
+//
+//   - `for range m` with no iteration variables (pure counting: no
+//     order is observable);
+//   - collect-and-sort: the loop appends keys or values to slices and
+//     a later statement in the same block sorts every collected slice
+//     (sort.* / slices.Sort*), the sortedKeys idiom;
+//   - per-key writes into another map (`out[k] = f(v)`) or deletes,
+//     which commute across iteration orders.
+//
+// Anything else needs a reasoned //lint:allow mapiter directive.
+var MapIter = &analysis.Analyzer{
+	Name:     "mapiter",
+	Doc:      "flag nondeterministic map iteration in deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	if !inScope(pass) {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "mapiter")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		if isTestFile(pass, rs.Pos()) {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if rs.Key == nil && rs.Value == nil {
+			return true // iteration order unobservable
+		}
+		if collectAndSorted(pass, rs, stack) || orderIndependentBody(pass, rs) {
+			return true
+		}
+		if sup.allowed(rs.Pos()) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "map iteration order is nondeterministic and escapes this loop; collect the keys and sort them (or write //lint:allow mapiter <reason>) to keep output byte-identical")
+		return true
+	})
+	return nil, nil
+}
+
+// collectAndSorted recognizes the sortedKeys idiom: every slice the
+// loop body appends to is sorted by a later statement in the enclosing
+// block. The appended-to expressions are compared textually, which
+// covers both locals (`keys`) and fields (`ix.items`).
+func collectAndSorted(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	collected := map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return true
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(call.Args[0]) == lhs {
+			collected[lhs] = true
+		}
+		return true
+	})
+	if len(collected) == 0 {
+		return false
+	}
+	// Find the enclosing block and the loop's position in it, then
+	// require a sort of every collected slice somewhere after.
+	for i := len(stack) - 2; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		after := false
+		for _, st := range block.List {
+			if !after {
+				if st == stack[i+1] {
+					after = true
+				}
+				continue
+			}
+			ast.Inspect(st, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSortCall(pass, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					delete(collected, types.ExprString(arg))
+				}
+				return true
+			})
+		}
+		return len(collected) == 0
+	}
+	return false
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+// orderIndependentBody proves the loop's effects commute, so iteration
+// order cannot be observed in the result. Accepted leaf effects:
+//
+//   - integer counters: `n++`, `n--`, `n += e`, `n -= e` on an
+//     integer identifier (floats are rejected: float addition is not
+//     associative, so a float accumulation is exactly the bit-level
+//     nondeterminism this analyzer exists to stop);
+//   - per-key map writes: `m[k] = e` or `delete(m, k)` where the index
+//     mentions the range key, so every iteration touches its own entry;
+//   - constant bool latches: `done = true` (idempotent);
+//   - `continue`.
+//
+// if/else and nested blocks are allowed around leaves provided no
+// condition reads an accumulator or a written map — a condition like
+// `if n == 2` would make the effect depend on visit order.
+func orderIndependentBody(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	keyObj := rangeKeyObj(pass, rs)
+	c := &commuteChecker{pass: pass, keyObj: keyObj, written: map[types.Object]bool{}}
+	// Pass 1 collects the accumulators and written maps; pass 2 can
+	// then reject conditions that read them.
+	if !c.stmts(rs.Body.List) {
+		return false
+	}
+	return c.conditionsClean(rs.Body)
+}
+
+func rangeKeyObj(pass *analysis.Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+type commuteChecker struct {
+	pass    *analysis.Pass
+	keyObj  types.Object
+	written map[types.Object]bool // accumulators and written maps
+}
+
+func (c *commuteChecker) stmts(list []ast.Stmt) bool {
+	for _, st := range list {
+		if !c.stmt(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *commuteChecker) stmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		return c.counterOrPerKeyTarget(st.X, nil)
+	case *ast.AssignStmt:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return false
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			return c.counterTarget(st.Lhs[0])
+		case token.ASSIGN:
+			return c.boolLatch(st.Lhs[0], st.Rhs[0]) || c.perKeyWrite(st.Lhs[0], st.Rhs[0])
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" || len(call.Args) != 2 {
+			return false
+		}
+		if !c.mentionsKey(call.Args[1]) {
+			return false
+		}
+		c.markWritten(call.Args[0])
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			return false
+		}
+		if !c.stmts(st.Body.List) {
+			return false
+		}
+		switch e := st.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return c.stmts(e.List)
+		case *ast.IfStmt:
+			return c.stmt(e)
+		}
+		return false
+	case *ast.BlockStmt:
+		return c.stmts(st.List)
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE && st.Label == nil
+	}
+	return false
+}
+
+// counterOrPerKeyTarget accepts an IncDec target: an integer counter
+// ident or a per-key map entry (`m[k]++`).
+func (c *commuteChecker) counterOrPerKeyTarget(e ast.Expr, _ any) bool {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return c.perKeyWrite(ix, nil)
+	}
+	return c.counterTarget(e)
+}
+
+// counterTarget accepts an integer identifier accumulator.
+func (c *commuteChecker) counterTarget(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	if obj := identObj(c.pass, id); obj != nil {
+		c.written[obj] = true
+		return true
+	}
+	return false
+}
+
+// boolLatch accepts `x = true` / `x = false`: idempotent, so any
+// number of iterations setting it in any order agree.
+func (c *commuteChecker) boolLatch(lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := rhs.(*ast.Ident)
+	if !ok || (v.Name != "true" && v.Name != "false") || c.pass.TypesInfo.Uses[v] != types.Universe.Lookup(v.Name) {
+		return false
+	}
+	if obj := identObj(c.pass, id); obj != nil {
+		c.written[obj] = true
+		return true
+	}
+	return false
+}
+
+// perKeyWrite accepts `m[k...] = e` where m is a map and the index
+// mentions the range key: each iteration owns its entry, so writes
+// commute. The RHS (when present) is vetted later by conditionsClean's
+// read check via markWritten.
+func (c *commuteChecker) perKeyWrite(lhs ast.Expr, _ ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return false
+	}
+	if !c.mentionsKey(ix.Index) {
+		return false
+	}
+	c.markWritten(ix.X)
+	return true
+}
+
+func (c *commuteChecker) markWritten(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := identObj(c.pass, id); obj != nil {
+			c.written[obj] = true
+		}
+	}
+}
+
+func (c *commuteChecker) mentionsKey(e ast.Expr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObj(c.pass, id) == c.keyObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// conditionsClean rejects the body if any if-condition, counter
+// operand or written-map RHS reads one of the written objects: such a
+// read makes the iteration's effect depend on what ran before it.
+func (c *commuteChecker) conditionsClean(body *ast.BlockStmt) bool {
+	clean := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !clean {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if c.readsWritten(n.Cond) {
+				clean = false
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if c.readsWritten(r) {
+					clean = false
+				}
+			}
+		}
+		return clean
+	})
+	return clean
+}
+
+func (c *commuteChecker) readsWritten(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(c.pass, id); obj != nil && c.written[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

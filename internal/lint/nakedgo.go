@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// NakedGo flags `go` statements in deterministic packages. Ordered
+// concurrency is internal/parallel's whole job: its pool preserves
+// result order for any worker count, which is what lets parallelism
+// stay outside the cache key. A naked goroutine reintroduces
+// scheduling order as an observable — completion order, interleaved
+// writes — precisely what the byte-identity equivalence tests forbid.
+var NakedGo = &analysis.Analyzer{
+	Name:     "nakedgo",
+	Doc:      "forbid go statements in deterministic packages; use internal/parallel",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNakedGo,
+}
+
+func runNakedGo(pass *analysis.Pass) (any, error) {
+	if !inScope(pass) {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "nakedgo")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) || sup.allowed(n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(), "naked go statement in a deterministic package; spawn through internal/parallel (Do / MapErr), which owns ordered concurrency")
+	})
+	return nil, nil
+}

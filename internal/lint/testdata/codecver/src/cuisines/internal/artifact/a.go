@@ -1,0 +1,9 @@
+// Dependency fixture for codecver: this package's magic is exported
+// as a package fact, so the importing pipeline fixture can collide
+// with it.
+package artifact
+
+var diskMagic = [4]byte{'C', 'A', 'R', 'T'}
+
+// Use keeps the declaration referenced.
+func Use() byte { return diskMagic[0] }

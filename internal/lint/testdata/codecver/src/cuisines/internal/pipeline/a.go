@@ -1,0 +1,42 @@
+// Fixture for the codecver analyzer: duplicate codec kinds,
+// non-positive versions, unpaired and mispaired flat codecs, and
+// magic collisions both within the package and against the imported
+// artifact package's fact.
+package pipeline
+
+import _ "cuisines/internal/artifact"
+
+type flatCodec struct {
+	kind     string
+	version  int
+	appendFn func([]byte, any) ([]byte, error)
+	decodeFn func([]byte) (any, error)
+}
+
+type gobCodec struct {
+	kind    string
+	version int
+}
+
+func appendMine(dst []byte, v any) ([]byte, error) { return dst, nil }
+func decodeMine(b []byte) (any, error)             { return nil, nil }
+func appendRows(dst []byte, v any) ([]byte, error) { return dst, nil }
+func decodeCols(b []byte) (any, error)             { return nil, nil }
+
+var (
+	mineCodec = flatCodec{kind: "mine", version: 3, appendFn: appendMine, decodeFn: decodeMine}
+	dupCodec  = flatCodec{kind: "mine", version: 4, appendFn: appendMine, decodeFn: decodeMine} // want `already registered`
+	gobDup    = gobCodec{kind: "tree", version: 1}
+	gobDup2   = gobCodec{kind: "tree", version: 2}                                            // want `already registered`
+	zeroVer   = gobCodec{kind: "zero", version: 0}                                            // want `not positive`
+	mispaired = flatCodec{kind: "mm", version: 1, appendFn: appendRows, decodeFn: decodeCols} // want `append.*decode.*share a suffix`
+	loneEnc   = flatCodec{kind: "lone", version: 1, appendFn: appendMine}                     // want `registered together`
+	okCodec   = gobCodec{kind: "corpus", version: 1}
+)
+
+var (
+	flatMagic  = [4]byte{'C', 'F', 'L', '1'}
+	tableMagic = [4]byte{'C', 'F', 'L', '1'} // want `already used by flatMagic`
+	clashMagic = [4]byte{'C', 'A', 'R', 'T'} // want `collides with cuisines/internal/artifact.diskMagic`
+	strMagic   = "CSTR"
+)

@@ -1,0 +1,11 @@
+// Out-of-scope fixture: internal/server is not a deterministic
+// package, so mapiter must stay silent here.
+package server
+
+func rangeFreely(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Fixture for the nakedgo analyzer.
+package hac
+
+func bad(f func()) {
+	go f() // want `naked go statement`
+}
+
+func badClosure(ch chan int) {
+	go func() { ch <- 1 }() // want `naked go statement`
+}
+
+// allowedOK carries a reasoned suppression.
+func allowedOK(ch chan int) {
+	//lint:allow nakedgo fixture proves the reasoned directive suppresses
+	go func() { ch <- 1 }()
+}
+
+// callOK: calling a function (even one that spawns internally, like
+// internal/parallel's) is not a go statement.
+func callOK(f func()) { f() }

@@ -1,0 +1,29 @@
+// Fixture for the wallclock analyzer: wall-clock reads and math/rand
+// imports inside a deterministic package.
+package corpus
+
+import (
+	"math/rand" // want `must not import math/rand`
+	"time"
+)
+
+func seedBad() int64 { return rand.Int63() }
+
+func nowBad() time.Time { return time.Now() } // want `time.Now reads the wall clock`
+
+func sinceBad(t0 time.Time) time.Duration { return time.Since(t0) } // want `time.Since reads the wall clock`
+
+func untilBad(t0 time.Time) time.Duration { return time.Until(t0) } // want `time.Until reads the wall clock`
+
+// constOK: time the type and its constants are fine; only the wall
+// clock is off-limits.
+func constOK() time.Duration { return 5 * time.Second }
+
+// parseOK: deterministic time computation on supplied values is fine.
+func parseOK(s string) (time.Time, error) { return time.Parse(time.RFC3339, s) }
+
+// allowedOK carries a reasoned suppression.
+func allowedOK() time.Time {
+	//lint:allow wallclock fixture proves the reasoned directive suppresses
+	return time.Now()
+}

@@ -1,0 +1,7 @@
+// _test.go files are outside the determinism contract: timing a test
+// is fine, so wallclock must stay silent here.
+package corpus
+
+import "time"
+
+func benchClock() time.Time { return time.Now() }

@@ -1,0 +1,7 @@
+// Out-of-scope fixture: internal/server owns access logs and request
+// latency, so its wall-clock reads are fine.
+package server
+
+import "time"
+
+func accessLogStamp() time.Time { return time.Now() }

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// WallClock forbids wall-clock and ambient-randomness reads in
+// deterministic packages: time.Now (and its Since/Until sugar) and any
+// import of math/rand. Stage outputs must be pure functions of their
+// inputs or every cached and peer-fetched artifact is a lie; seeded,
+// cross-version-stable randomness lives in internal/rng.
+//
+// The allowlist is structural: cmd/, internal/server (access logs,
+// latency), internal/artifact (mtime GC) and _test.go files are
+// outside the deterministic scope entirely.
+var WallClock = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      "forbid time.Now and math/rand in deterministic packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWallClock,
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock. time.Since/Until are included: each is a one-call wrapper
+// around Now.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *analysis.Pass) (any, error) {
+	if !inScope(pass) {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "wallclock")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !sup.allowed(imp.Pos()) {
+				pass.Reportf(imp.Pos(), "deterministic packages must not import %s: its streams are not stable across Go releases; use internal/rng (splitmix64, reproducible everywhere)", path)
+			}
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if isTestFile(pass, call.Pos()) {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallClockFuncs[obj.Name()] {
+			return
+		}
+		if sup.allowed(call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(), "time.%s reads the wall clock inside a deterministic package; stage outputs must be pure functions of their inputs (pass times in, or move the code outside the determinism scope)", obj.Name())
+	})
+	return nil, nil
+}

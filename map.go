@@ -181,6 +181,7 @@ func abbreviations(regions []string) map[string]string {
 			used[ab] = append(used[ab], r)
 		}
 		collision := false
+		//lint:allow mapiter collision groups are disjoint (keyed by abbreviation), so bumping each member's level commutes across visit orders
 		for _, rs := range used {
 			if len(rs) > 1 {
 				collision = true
