@@ -190,8 +190,22 @@ func (c *Client) query(extra url.Values) url.Values {
 	return q
 }
 
+// Response body caps. Every read goes through io.LimitReader so a
+// misbehaving or hostile server cannot OOM the client: data bodies get
+// a generous cap (a full-scale dendrogram JSON is a few MB; 64 MiB is
+// far beyond any legitimate response), error bodies a small one (an
+// ErrorResponse is one sentence). Package-level vars, not consts, so
+// tests can shrink them.
+var (
+	maxResponseBytes  int64 = 64 << 20
+	maxErrorBodyBytes int64 = 256 << 10
+)
+
 // get performs one GET and decodes the response: 2xx bodies into out
-// (raw bytes when out is *[]byte), error bodies into an error.
+// (raw bytes when out is *[]byte), error bodies into an error. Bodies
+// beyond maxResponseBytes fail with a "response too large" error;
+// oversized error bodies are truncated rather than rejected (the
+// status line still carries the signal).
 func (c *Client) get(ctx context.Context, path string, extra url.Values, out any) error {
 	u := c.BaseURL + path
 	if q := c.query(extra); len(q) > 0 {
@@ -210,16 +224,28 @@ func (c *Client) get(ctx context.Context, path string, extra url.Values, out any
 		return err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
 	if resp.StatusCode != http.StatusOK {
+		// Error bodies are tiny by construction; read a capped prefix
+		// and never fail on an oversized one.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
+		if err != nil {
+			return err
+		}
 		var e ErrorResponse
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
 			return fmt.Errorf("cuisines: daemon %s: %s", resp.Status, e.Error)
 		}
 		return fmt.Errorf("cuisines: daemon %s on %s", resp.Status, path)
+	}
+	// Read one byte past the cap so an exactly-at-cap body still
+	// succeeds and an over-cap one is detected rather than silently
+	// truncated into corrupt JSON.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return err
+	}
+	if int64(len(body)) > maxResponseBytes {
+		return fmt.Errorf("cuisines: response too large on %s (over %d bytes)", path, maxResponseBytes)
 	}
 	if raw, ok := out.(*[]byte); ok {
 		*raw = body

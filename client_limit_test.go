@@ -1,0 +1,79 @@
+package cuisines
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The body-cap tests live in-package (unlike client_test.go) because
+// they shrink the unexported response limits; they use stub HTTP
+// servers, not a real cuisined, so there is no import cycle.
+
+func TestClientRejectsOversizedResponse(t *testing.T) {
+	huge := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"` + huge + `"}`))
+	}))
+	defer ts.Close()
+
+	origData := maxResponseBytes
+	maxResponseBytes = 1024
+	defer func() { maxResponseBytes = origData }()
+
+	var h HealthResponse
+	err := NewClient(ts.URL).get(context.Background(), "/healthz", nil, &h)
+	if err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	if !strings.Contains(err.Error(), "response too large") {
+		t.Fatalf("error %q does not name the cause", err)
+	}
+}
+
+func TestClientAcceptsResponseAtCap(t *testing.T) {
+	body := []byte(`{"status":"ok","cached":1}`)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write(body)
+	}))
+	defer ts.Close()
+
+	origData := maxResponseBytes
+	maxResponseBytes = int64(len(body)) // exactly at the cap, not over
+	defer func() { maxResponseBytes = origData }()
+
+	var h HealthResponse
+	if err := NewClient(ts.URL).get(context.Background(), "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("decoded %+v", h)
+	}
+}
+
+func TestClientTruncatesOversizedErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(strings.Repeat("y", 4096)))
+	}))
+	defer ts.Close()
+
+	origErr := maxErrorBodyBytes
+	maxErrorBodyBytes = 64
+	defer func() { maxErrorBodyBytes = origErr }()
+
+	err := NewClient(ts.URL).get(context.Background(), "/v1/table", nil, &TableResponse{})
+	if err == nil {
+		t.Fatal("5xx response reported as success")
+	}
+	// The status line carries the signal; the flood of body bytes must
+	// not balloon the error.
+	if len(err.Error()) > 256 {
+		t.Fatalf("error message is %d bytes; oversized error body not truncated", len(err.Error()))
+	}
+	if !strings.Contains(err.Error(), "500") {
+		t.Fatalf("error %q lost the status", err)
+	}
+}

@@ -17,58 +17,28 @@
 //
 // The -check mode is the CI hook: it re-parses the committed file and
 // the smoke-run output, failing the job if either has stopped being
-// valid benchjson output.
+// valid benchjson output. The document format itself lives in
+// internal/benchfmt, shared with cmd/loadgen.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
-)
 
-// Schema identifies the JSON layout; bump on breaking changes.
-const Schema = "cuisines-bench/v1"
+	"cuisines/internal/benchfmt"
+)
 
 // defaultBench selects the tracked suite P1–P7 (see DESIGN.md §10):
 // pdist, mine, corpus, figures, staged reuse, miner backends, artifact
 // codecs.
 const defaultBench = "^Benchmark(PdistParallel|MineRegionsParallel|CorpusGenerationParallel|BuildFiguresParallel|StagedReuse|MinerBackends|ArtifactCodecs)$"
-
-// File is the committed JSON document.
-type File struct {
-	Schema string `json:"schema"`
-	Runs   []Run  `json:"runs"`
-}
-
-// Run is one labeled benchmark invocation.
-type Run struct {
-	Label     string   `json:"label"`
-	Go        string   `json:"go"`
-	Date      string   `json:"date"`
-	Benchtime string   `json:"benchtime,omitempty"`
-	Results   []Result `json:"results"`
-}
-
-// Result is one parsed benchmark line. Metrics holds custom
-// b.ReportMetric units (e.g. "patterns", "d0").
-type Result struct {
-	Name        string             `json:"name"`
-	Procs       int                `json:"procs,omitempty"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
 
 func main() {
 	var (
@@ -85,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkFile(*check); err != nil {
+		if err := benchfmt.CheckFile(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
 			os.Exit(1)
 		}
@@ -115,7 +85,7 @@ func main() {
 		}
 	}
 
-	results, err := ParseBench(raw)
+	results, err := benchfmt.ParseBench(raw)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,14 +93,14 @@ func main() {
 		fatal(fmt.Errorf("no benchmark results parsed"))
 	}
 
-	run := Run{
+	run := benchfmt.Run{
 		Label:     *label,
 		Go:        runtime.Version(),
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		Benchtime: *benchtime,
 		Results:   results,
 	}
-	if err := mergeRun(*out, run); err != nil {
+	if err := benchfmt.MergeRun(*out, run); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s: %d results under label %q\n", *out, len(results), *label)
@@ -161,129 +131,4 @@ func runGoTest(bench, benchtime string, count int, short bool, pkg string) (io.R
 		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
 	return strings.NewReader(buf.String()), nil
-}
-
-var procsSuffix = regexp.MustCompile(`-(\d+)$`)
-
-// ParseBench parses standard `go test -bench` output lines:
-//
-//	BenchmarkName/sub-8   20   52783924 ns/op   18.73 d0   268770 B/op   4 allocs/op
-//
-// i.e. a name (with optional -GOMAXPROCS suffix), an iteration count,
-// then (value, unit) pairs. Unknown units land in Metrics. Non-benchmark
-// lines (goos/pkg headers, PASS, ok) are skipped.
-func ParseBench(r io.Reader) ([]Result, error) {
-	var out []Result
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || len(fields)%2 != 0 {
-			return nil, fmt.Errorf("malformed benchmark line: %q", line)
-		}
-		res := Result{Name: fields[0]}
-		if m := procsSuffix.FindStringSubmatch(res.Name); m != nil {
-			res.Procs, _ = strconv.Atoi(m[1])
-			res.Name = strings.TrimSuffix(res.Name, m[0])
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
-		}
-		res.Iterations = iters
-		for i := 2; i+1 < len(fields); i += 2 {
-			val, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				res.NsPerOp = val
-			case "B/op":
-				v := val
-				res.BytesPerOp = &v
-			case "allocs/op":
-				v := val
-				res.AllocsPerOp = &v
-			default:
-				if res.Metrics == nil {
-					res.Metrics = make(map[string]float64)
-				}
-				res.Metrics[unit] = val
-			}
-		}
-		out = append(out, res)
-	}
-	return out, sc.Err()
-}
-
-// mergeRun loads the output file if present, replaces any existing run
-// with the same label (keeping its position, so "before" stays first),
-// appends otherwise, and writes the file back.
-func mergeRun(path string, run Run) error {
-	f := File{Schema: Schema}
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &f); err != nil {
-			return fmt.Errorf("existing %s is not valid benchjson: %v", path, err)
-		}
-		if f.Schema != Schema {
-			return fmt.Errorf("existing %s has schema %q, want %q", path, f.Schema, Schema)
-		}
-	}
-	replaced := false
-	for i := range f.Runs {
-		if f.Runs[i].Label == run.Label {
-			f.Runs[i] = run
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		f.Runs = append(f.Runs, run)
-	}
-	data, err := json.MarshalIndent(&f, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// checkFile validates a benchjson document: schema match, at least one
-// run, every run labeled with at least one named result.
-func checkFile(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return err
-	}
-	if f.Schema != Schema {
-		return fmt.Errorf("schema %q, want %q", f.Schema, Schema)
-	}
-	if len(f.Runs) == 0 {
-		return fmt.Errorf("no runs")
-	}
-	for i, r := range f.Runs {
-		if r.Label == "" {
-			return fmt.Errorf("run %d has no label", i)
-		}
-		if len(r.Results) == 0 {
-			return fmt.Errorf("run %q has no results", r.Label)
-		}
-		for j, res := range r.Results {
-			if res.Name == "" {
-				return fmt.Errorf("run %q result %d has no name", r.Label, j)
-			}
-			if res.NsPerOp <= 0 {
-				return fmt.Errorf("run %q result %q has non-positive ns/op", r.Label, res.Name)
-			}
-		}
-	}
-	return nil
 }

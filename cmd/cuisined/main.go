@@ -10,12 +10,14 @@
 //	cuisined -addr :8372 -preload            # warm the default analysis at boot
 //	cuisined -scale 0.25 -workers 4          # quarter-scale default, bounded pool
 //	cuisined -cache-dir /var/cache/cuisined  # persist stage artifacts; restarts come back warm
+//	cuisined -doctor -cache-dir /var/cache/cuisined  # self-check, then exit
 //
 //	curl localhost:8372/healthz
 //	curl localhost:8372/v1/table
 //	curl localhost:8372/v1/newick/fig5-authenticity
 //	curl 'localhost:8372/v1/closest/fig6-geographic?region=UK'
 //	curl localhost:8372/v1/cachestats
+//	curl localhost:8372/metrics
 //
 // Requests may select a different analysis with seed=, scale=, support=
 // and linkage= query parameters (and a different mining backend with
@@ -24,9 +26,16 @@
 // it, the staged pipeline caches per-stage artifacts, so analyses
 // that share a corpus and mining run (different linkage, different
 // figure) share that work; with -cache-dir the artifacts persist
-// across restarts. The daemon
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
-// first and logging its cache counters.
+// across restarts.
+//
+// Operability: every request runs under a context — a client that
+// disconnects (or outlives -request-timeout) stops its pipeline run at
+// the next stage boundary unless other requests still wait on it.
+// Cache misses pass a bounded admission queue (-max-runs / -max-queue);
+// past its depth the daemon answers 429 + Retry-After instead of
+// queueing unboundedly. /metrics exposes Prometheus-text counters. The
+// daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests first and logging its cache counters.
 package main
 
 import (
@@ -62,8 +71,27 @@ func main() {
 		support   = flag.Float64("support", core.DefaultMinSupport, "default pattern-mining support threshold")
 		linkage   = flag.String("linkage", core.DefaultLinkage.String(), "default linkage method")
 		minerName = flag.String("miner", miner.Default.Name(), "frequent-itemset mining backend (apriori|eclat|fpgrowth; output is identical, only speed differs)")
+
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request wall-clock cap; expired requests answer 503 (0 = none)")
+		maxRuns    = flag.Int("max-runs", 0, "concurrent pipeline runs admitted on cache misses (0 = all cores, -1 = unbounded)")
+		maxQueue   = flag.Int("max-queue", 0, "cache misses allowed to wait for a run slot before 429 (0 = default, -1 = none)")
+		retryAfter = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint sent with 429 responses")
+		accessLogs = flag.Bool("access-log", true, "emit one structured JSON line per request to stdout")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers; drops slowloris connections")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "max time to read an entire request including its body")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+
+		doctor = flag.Bool("doctor", false, "run startup self-checks (cache dir writable, artifact codec versions), then exit")
 	)
 	flag.Parse()
+
+	if *doctor {
+		if err := runDoctor(os.Stdout, *cacheDir, *minerName, *linkage); err != nil {
+			log.Fatalf("doctor: %v", err)
+		}
+		return
+	}
 
 	if _, err := miner.Parse(*minerName); err != nil {
 		log.Fatal(err)
@@ -79,6 +107,10 @@ func main() {
 	}
 	engine := cuisines.NewEngine(cuisines.EngineConfig{CacheDir: *cacheDir, MaxCacheBytes: *cacheMax})
 
+	var accessLog *log.Logger
+	if *accessLogs {
+		accessLog = log.New(os.Stdout, "", 0)
+	}
 	srv := server.New(server.Config{
 		Base: cuisines.Options{
 			Seed:       *seed,
@@ -88,30 +120,49 @@ func main() {
 			Workers:    *workers,
 			Miner:      *minerName,
 		},
-		CacheSize: *cacheSize,
-		Engine:    engine,
+		CacheSize:         *cacheSize,
+		Engine:            engine,
+		MaxConcurrentRuns: *maxRuns,
+		MaxQueuedRuns:     *maxQueue,
+		RequestTimeout:    *reqTimeout,
+		RetryAfter:        *retryAfter,
+		AccessLog:         accessLog,
 	})
 
+	// The signal context exists before any background work starts so
+	// both the preload below and graceful shutdown hang off it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	preloadDone := make(chan struct{})
 	if *preload {
 		// Warm concurrently so /healthz answers immediately; the first
-		// /v1 request joins the in-flight run instead of starting another.
+		// /v1 request joins the in-flight run instead of starting
+		// another. The goroutine is tied to the signal context (shutdown
+		// aborts an unfinished warm) and awaited before the final
+		// counter log, so that log reflects its cache traffic.
 		go func() {
+			defer close(preloadDone)
 			start := time.Now()
-			if err := srv.Warm(); err != nil {
+			err := srv.Warm(ctx)
+			switch {
+			case err == nil:
+				log.Printf("preload done in %v", time.Since(start).Round(time.Millisecond))
+			case errors.Is(err, context.Canceled):
+				log.Printf("preload aborted by shutdown")
+			default:
 				log.Printf("preload failed: %v", err)
-				return
 			}
-			log.Printf("preload done in %v", time.Since(start).Round(time.Millisecond))
 		}()
+	} else {
+		close(preloadDone)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := newHTTPServer(*addr, srv, *readHeaderTimeout, *readTimeout, *idleTimeout)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -126,6 +177,7 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+		<-preloadDone
 		st := srv.CacheStats()
 		log.Printf("analysis cache: size=%d/%d hits=%d misses=%d evictions=%d inflight_joins=%d",
 			st.Analyses.Size, st.Analyses.Capacity, st.Analyses.Hits, st.Analyses.Misses,
@@ -134,5 +186,21 @@ func main() {
 			log.Printf("stage %s", line)
 		}
 		log.Printf("shut down cleanly")
+	}
+}
+
+// newHTTPServer builds the daemon's http.Server with its connection
+// timeouts. ReadHeaderTimeout is the slowloris defense: a client that
+// trickles header bytes is dropped. WriteTimeout stays zero on purpose
+// — a cold full-scale pipeline run legitimately takes longer than any
+// fixed write deadline, and the request-timeout flag already bounds
+// handler time via the context.
+func newHTTPServer(addr string, h http.Handler, readHeader, read, idle time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+		IdleTimeout:       idle,
 	}
 }

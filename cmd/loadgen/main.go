@@ -1,0 +1,379 @@
+// Command loadgen drives open-loop HTTP traffic against a running
+// cuisined daemon and records per-endpoint latency and throughput as a
+// cuisines-bench/v1 report (the same format benchjson emits), so load
+// evidence can be committed next to the code (BENCH_8.json) and
+// validated in CI with `benchjson -check`.
+//
+// Open-loop means requests launch on a fixed clock regardless of how
+// fast responses come back — the arrival process models independent
+// users, so a slow server accumulates concurrent requests instead of
+// silently throttling the generator (the coordinated-omission trap of
+// closed-loop load tools). The endpoint mix is a deterministic smooth
+// weighted round-robin over -mix; no randomness, so two runs against
+// equal daemons issue the identical request sequence.
+//
+// Usage:
+//
+//	loadgen -duration 30s -rate 100 -o BENCH_8.json -label load
+//	loadgen -base http://localhost:8372 -mix 'table:4,fingerprint:2,closest:1'
+//	loadgen -mix '/v1/claims:1' -duration 5s       # raw paths pass through
+//
+// Named endpoints resolve to API paths; fingerprint, patterns and
+// closest cycle through the daemon's region list (fetched once up
+// front, which also warms the analysis so the measured window exercises
+// the cache-hit serving path — pass -no-warm to skip and measure cold).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cuisines/internal/benchfmt"
+)
+
+// endpoint is one weighted traffic class. path yields the request path
+// for the class's i-th request (region-cycling endpoints vary by i).
+type endpoint struct {
+	name    string
+	weight  int
+	current int // smooth-WRR state
+	sent    int
+	path    func(i int) string
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	code     int // 0 on transport error
+	latency  time.Duration
+}
+
+// tally aggregates one endpoint's samples.
+type tally struct {
+	sent      int
+	ok        int
+	rejected  int // 429
+	errors    int // transport errors and 5xx
+	other     int // remaining non-2xx (4xx besides 429)
+	okLatency []time.Duration
+}
+
+func main() {
+	var (
+		base     = flag.String("base", "http://localhost:8372", "daemon base URL")
+		duration = flag.Duration("duration", 30*time.Second, "measurement window")
+		rate     = flag.Float64("rate", 50, "request launch rate per second (open loop)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		mix      = flag.String("mix", "table:4,stats:2,fingerprint:2,patterns:1,closest:1,newick:1,cachestats:1,healthz:1",
+			"comma-separated endpoint:weight traffic mix; names or raw /paths")
+		label  = flag.String("label", "load", "label for the recorded run")
+		out    = flag.String("o", "", "append the run to this benchjson file (empty = summary only)")
+		noWarm = flag.Bool("no-warm", false, "skip the warmup fetch; region-cycling endpoints then require a warm daemon")
+	)
+	flag.Parse()
+
+	hc := &http.Client{Timeout: *timeout}
+	regions, err := fetchRegions(hc, *base, *noWarm)
+	if err != nil {
+		fatal(err)
+	}
+	eps, err := parseMix(*mix, regions)
+	if err != nil {
+		fatal(err)
+	}
+	if *rate <= 0 {
+		fatal(fmt.Errorf("rate must be positive"))
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %s for %v at %.0f req/s (%d endpoint classes)\n",
+		*base, *duration, *rate, len(eps))
+	tallies := run(hc, *base, eps, *rate, *duration)
+
+	results, err := report(eps, tallies, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(os.Stderr, eps, tallies, *duration)
+
+	if *out != "" {
+		benchRun := benchfmt.Run{
+			Label:     *label,
+			Go:        runtime.Version(),
+			Date:      time.Now().UTC().Format("2006-01-02"),
+			Benchtime: duration.String(),
+			Results:   results,
+		}
+		if err := benchfmt.MergeRun(*out, benchRun); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d results under label %q\n", *out, len(results), *label)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}
+
+// fetchRegions pulls /v1/table once: it returns the region names the
+// cycling endpoints interpolate, and as a side effect warms the
+// daemon's default analysis so the measured window hits the serving
+// path, not one giant cold pipeline run.
+func fetchRegions(hc *http.Client, base string, skip bool) ([]string, error) {
+	if skip {
+		return nil, nil
+	}
+	resp, err := hc.Get(base + "/v1/table")
+	if err != nil {
+		return nil, fmt.Errorf("warmup fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("warmup fetch: daemon answered %s", resp.Status)
+	}
+	var table struct {
+		Rows []struct {
+			Region string `json:"region"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		return nil, fmt.Errorf("warmup fetch: %w", err)
+	}
+	regions := make([]string, 0, len(table.Rows))
+	for _, r := range table.Rows {
+		regions = append(regions, r.Region)
+	}
+	return regions, nil
+}
+
+// parseMix builds the weighted endpoint set from "name:weight" pairs.
+// Known names map to API paths; anything starting with '/' is issued
+// verbatim.
+func parseMix(mix string, regions []string) ([]*endpoint, error) {
+	region := func(i int) string {
+		return url.PathEscape(regions[i%len(regions)])
+	}
+	named := map[string]func(i int) string{
+		"healthz":    fixed("/healthz"),
+		"metrics":    fixed("/metrics"),
+		"cachestats": fixed("/v1/cachestats"),
+		"table":      fixed("/v1/table"),
+		"stats":      fixed("/v1/stats"),
+		"claims":     fixed("/v1/claims"),
+		"map":        fixed("/v1/map"),
+		"newick":     fixed("/v1/newick/fig5-authenticity"),
+		"dendrogram": fixed("/v1/dendrogram/fig2-euclidean"),
+		"fingerprint": func(i int) string {
+			return "/v1/fingerprint/" + region(i)
+		},
+		"patterns": func(i int) string {
+			return "/v1/patterns/" + region(i)
+		},
+		"closest": func(i int) string {
+			return "/v1/closest/fig6-geographic?region=" + url.QueryEscape(regions[i%len(regions)])
+		},
+	}
+	needsRegions := map[string]bool{"fingerprint": true, "patterns": true, "closest": true}
+
+	var eps []*endpoint
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name:weight", part)
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", part)
+		}
+		pathFn := named[name]
+		if pathFn == nil {
+			if !strings.HasPrefix(name, "/") {
+				return nil, fmt.Errorf("mix entry %q: unknown endpoint (or use a raw /path)", part)
+			}
+			pathFn = fixed(name)
+		}
+		if needsRegions[name] && len(regions) == 0 {
+			return nil, fmt.Errorf("mix entry %q needs the region list; run without -no-warm", part)
+		}
+		eps = append(eps, &endpoint{name: name, weight: weight, path: pathFn})
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("empty traffic mix")
+	}
+	return eps, nil
+}
+
+func fixed(path string) func(int) string {
+	return func(int) string { return path }
+}
+
+// next picks the upcoming traffic class by smooth weighted round-robin:
+// deterministic, and interleaves classes as evenly as their weights
+// allow (a 4:1 mix issues ABABABAB-ish, not AAAAB).
+func next(eps []*endpoint) *endpoint {
+	total := 0
+	var best *endpoint
+	for _, e := range eps {
+		e.current += e.weight
+		total += e.weight
+		if best == nil || e.current > best.current {
+			best = e
+		}
+	}
+	best.current -= total
+	return best
+}
+
+// run launches requests on a fixed clock until the window closes, then
+// waits for stragglers and returns per-endpoint tallies.
+func run(hc *http.Client, base string, eps []*endpoint, rate float64, window time.Duration) map[string]*tally {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.NewTimer(window)
+	defer stop.Stop()
+
+	samples := make(chan sample, 1024)
+	tallies := make(map[string]*tally)
+	for _, e := range eps {
+		tallies[e.name] = &tally{}
+	}
+	var collect sync.WaitGroup
+	collect.Add(1)
+	go func() {
+		defer collect.Done()
+		for s := range samples {
+			t := tallies[s.endpoint]
+			t.sent++
+			switch {
+			case s.code == 0:
+				t.errors++
+			case s.code >= 200 && s.code < 300:
+				t.ok++
+				t.okLatency = append(t.okLatency, s.latency)
+			case s.code == http.StatusTooManyRequests:
+				t.rejected++
+			case s.code >= 500:
+				t.errors++
+			default:
+				t.other++
+			}
+		}
+	}()
+
+	var inflight sync.WaitGroup
+loop:
+	for {
+		select {
+		case <-stop.C:
+			break loop
+		case <-ticker.C:
+			e := next(eps)
+			p := e.path(e.sent)
+			e.sent++
+			inflight.Add(1)
+			go func(name, path string) {
+				defer inflight.Done()
+				start := time.Now()
+				code := 0
+				resp, err := hc.Get(base + path)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				samples <- sample{endpoint: name, code: code, latency: time.Since(start)}
+			}(e.name, p)
+		}
+	}
+	inflight.Wait()
+	close(samples)
+	collect.Wait()
+	return tallies
+}
+
+// report converts tallies into benchfmt results: mean successful
+// latency as ns/op, percentiles and error counts as custom metrics. An
+// endpoint class with zero successes is a failed run — the report
+// format requires positive ns/op, and a load test where an endpoint
+// never succeeded measured nothing.
+func report(eps []*endpoint, tallies map[string]*tally, window time.Duration) ([]benchfmt.Result, error) {
+	var results []benchfmt.Result
+	for _, e := range eps {
+		t := tallies[e.name]
+		if t.ok == 0 {
+			return nil, fmt.Errorf("endpoint %s: %d requests, zero successes — nothing to report", e.name, t.sent)
+		}
+		sort.Slice(t.okLatency, func(i, j int) bool { return t.okLatency[i] < t.okLatency[j] })
+		var sum time.Duration
+		for _, d := range t.okLatency {
+			sum += d
+		}
+		results = append(results, benchfmt.Result{
+			Name:       "Load/" + strings.TrimPrefix(e.name, "/"),
+			Iterations: int64(t.ok),
+			NsPerOp:    float64(sum) / float64(t.ok),
+			Metrics: map[string]float64{
+				"p50_ms":   ms(percentile(t.okLatency, 50)),
+				"p90_ms":   ms(percentile(t.okLatency, 90)),
+				"p99_ms":   ms(percentile(t.okLatency, 99)),
+				"rps":      float64(t.ok) / window.Seconds(),
+				"sent":     float64(t.sent),
+				"http_429": float64(t.rejected),
+				"errors":   float64(t.errors),
+			},
+		})
+	}
+	return results, nil
+}
+
+// percentile returns the p-th percentile of sorted latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func printSummary(w io.Writer, eps []*endpoint, tallies map[string]*tally, window time.Duration) {
+	for _, e := range eps {
+		t := tallies[e.name]
+		if t.ok == 0 {
+			fmt.Fprintf(w, "  %-12s sent=%d ok=0 429=%d err=%d other=%d\n",
+				e.name, t.sent, t.rejected, t.errors, t.other)
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s sent=%d ok=%d 429=%d err=%d p50=%.1fms p99=%.1fms %.1f req/s\n",
+			e.name, t.sent, t.ok, t.rejected, t.errors,
+			ms(percentile(t.okLatency, 50)), ms(percentile(t.okLatency, 99)),
+			float64(t.ok)/window.Seconds())
+	}
+}

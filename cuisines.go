@@ -23,6 +23,7 @@
 package cuisines
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -237,6 +238,16 @@ func NewEngine(cfg EngineConfig) *Engine {
 // Fig. 1 elbow analysis, the five dendrograms, and the Sec. VII
 // validation — reusing any stage artifacts the engine already holds.
 func (e *Engine) Run(opts Options) (*Analysis, error) {
+	return e.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: the pipeline checks ctx between
+// stages, so a cancelled context (a disconnected or timed-out daemon
+// request) stops the run at the next stage boundary instead of
+// computing an analysis nobody is waiting for. The stage in progress
+// when ctx is cancelled completes and is cached — that work still
+// serves the next request for the same options.
+func (e *Engine) RunContext(ctx context.Context, opts Options) (*Analysis, error) {
 	opts, err := opts.Canonical()
 	if err != nil {
 		return nil, err
@@ -249,7 +260,7 @@ func (e *Engine) Run(opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.pipe.Run(pipeline.Params{
+	res, err := e.pipe.Run(ctx, pipeline.Params{
 		Seed:       opts.Seed,
 		Scale:      opts.Scale,
 		MinSupport: opts.MinSupport,
@@ -299,7 +310,7 @@ func (e *Engine) runOn(db *recipedb.DB, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.pipe.RunOn(db, pipeline.Params{
+	res, err := e.pipe.RunOn(context.Background(), db, pipeline.Params{
 		MinSupport: opts.MinSupport,
 		Method:     method,
 		Workers:    opts.Workers,
@@ -422,6 +433,15 @@ func (a *Analysis) regionIndex(region string) (int, error) {
 		return 0, fmt.Errorf("cuisines: unknown region %q", region)
 	}
 	return i, nil
+}
+
+// HasRegion reports whether region is one of the corpus's cuisines. It
+// resolves through the memoized region index (built once per Analysis),
+// so the daemon's per-request region validation is a map lookup, not a
+// scan of Regions().
+func (a *Analysis) HasRegion(region string) bool {
+	_, err := a.regionIndex(region)
+	return err == nil
 }
 
 // CuisineDistance returns the cophenetic distance between two cuisines in

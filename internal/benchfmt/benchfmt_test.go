@@ -1,0 +1,91 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cuisines
+BenchmarkPdistParallel/workers=8-8   	      20	  52783924 ns/op	  18.73 d0	  268770 B/op	       4 allocs/op
+BenchmarkMineRegionsParallel-8       	      10	 104000000 ns/op
+PASS
+ok  	cuisines	3.210s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkPdistParallel/workers=8" || r.Procs != 8 {
+		t.Fatalf("first result: %+v", r)
+	}
+	if r.Iterations != 20 || r.NsPerOp != 52783924 {
+		t.Fatalf("first result numbers: %+v", r)
+	}
+	if r.Metrics["d0"] != 18.73 {
+		t.Fatalf("custom metric: %+v", r.Metrics)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 268770 {
+		t.Fatalf("bytes/op: %+v", r)
+	}
+}
+
+func TestMergeRunAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	results, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeRun(path, Run{Label: "before", Go: "go1.24", Date: "2026-08-08", Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeRun(path, Run{Label: "after", Go: "go1.24", Date: "2026-08-08", Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-merging an existing label replaces in place instead of growing.
+	if err := MergeRun(path, Run{Label: "before", Go: "go1.24", Date: "2026-08-08", Results: results[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFile(path); err != nil {
+		t.Fatalf("valid file failed check: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), `"label"`); got != 2 {
+		t.Fatalf("file has %d runs, want 2 (same-label merge must replace)", got)
+	}
+	if !strings.HasPrefix(string(data), `{
+  "schema": "cuisines-bench/v1"`) {
+		t.Fatalf("unexpected document head:\n%s", data)
+	}
+}
+
+func TestCheckRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"schema":   `{"schema":"other/v9","runs":[{"label":"x","results":[{"name":"B","ns_per_op":1}]}]}`,
+		"noruns":   `{"schema":"cuisines-bench/v1","runs":[]}`,
+		"nolabel":  `{"schema":"cuisines-bench/v1","runs":[{"label":"","results":[{"name":"B","ns_per_op":1}]}]}`,
+		"zeronsop": `{"schema":"cuisines-bench/v1","runs":[{"label":"x","results":[{"name":"B","ns_per_op":0}]}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFile(path); err == nil {
+			t.Errorf("%s: invalid file passed check", name)
+		}
+	}
+}

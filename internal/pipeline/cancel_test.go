@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cuisines/internal/core"
+)
+
+// TestRunCancelledBeforeStart locks the between-stage cancellation
+// contract at the pipeline level: a run whose context is already dead
+// stops at the first stage boundary without computing anything.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	p := New(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, testParams(core.DefaultLinkage, 0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	for kind, st := range p.Store().Stats() {
+		if st.Computed != 0 {
+			t.Errorf("stage %s computed %d times under a cancelled context, want 0", kind, st.Computed)
+		}
+	}
+}
+
+// TestCancellationDoesNotPoisonCache: work a healthy run completes must
+// stay cached even though a cancelled run shared the pipeline — and a
+// cancelled run's partial progress serves later runs rather than being
+// discarded.
+func TestCancellationDoesNotPoisonCache(t *testing.T) {
+	p := New(nil)
+	if _, err := p.Run(context.Background(), testParams(core.DefaultLinkage, 0)); err != nil {
+		t.Fatal(err)
+	}
+	computedBefore := totalComputed(p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, testParams(core.DefaultLinkage, 0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A healthy re-run after the cancelled one must be all cache hits.
+	if _, err := p.Run(context.Background(), testParams(core.DefaultLinkage, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalComputed(p); got != computedBefore {
+		t.Fatalf("stages recomputed after a cancelled run: %d -> %d", computedBefore, got)
+	}
+}
+
+func totalComputed(p *Pipeline) uint64 {
+	var n uint64
+	for _, st := range p.Store().Stats() {
+		n += st.Computed
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -79,12 +80,36 @@ var (
 )
 
 // stage resolves one typed stage through the store: memory tier, disk
-// tier, then compute, single-flight per key.
-func stage[T any](s *artifact.Store, key string, codec artifact.Codec, compute func() (T, error)) (T, error) {
+// tier, then compute, single-flight per key. The ctx check at the top
+// is the pipeline's cancellation point — a cancelled run stops at the
+// next stage boundary. Checking only between stages (never aborting a
+// compute in progress) keeps every started stage's artifact cacheable,
+// so the work a cancelled request did complete still serves the next
+// request, and a stage shared with a healthy concurrent run is never
+// poisoned by someone else's cancellation.
+func stage[T any](ctx context.Context, s *artifact.Store, key string, codec artifact.Codec, compute func() (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	v, err := s.GetOrCompute(key, codec, func() (any, error) { return compute() })
 	if err != nil {
-		var zero T
 		return zero, err
 	}
 	return v.(T), nil
+}
+
+// CodecVersions reports the current codec version for every stage kind.
+// `cuisined -doctor` uses it to inventory a cache directory: a file
+// whose embedded version differs from the current one is orphaned (it
+// will be ignored and recomputed, never misread).
+func CodecVersions() map[string]int {
+	out := make(map[string]int)
+	for _, c := range []artifact.Codec{
+		corpusCodec, mineCodec, matricesCodec, authCodec,
+		pdistCodec, geodistCodec, treeCodec, elbowCodec, validateCodec,
+	} {
+		out[c.Kind()] = c.Version()
+	}
+	return out
 }

@@ -29,6 +29,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -89,35 +90,38 @@ func New(store *artifact.Store) *Pipeline {
 // Store returns the pipeline's artifact store (for stats inspection).
 func (p *Pipeline) Store() *artifact.Store { return p.store }
 
-// Run executes the full graph from a generated corpus.
-func (p *Pipeline) Run(pr Params) (*Result, error) {
+// Run executes the full graph from a generated corpus. Cancellation of
+// ctx is honored between stages: a stage already executing runs to
+// completion (and is cached — the work is not wasted), but no further
+// stage starts once ctx is done, and Run returns ctx's error.
+func (p *Pipeline) Run(ctx context.Context, pr Params) (*Result, error) {
 	pr = withDefaults(pr)
 	corpusKey := artifact.Key("corpus",
 		fmt.Sprintf("seed=%d", pr.Seed),
 		fmt.Sprintf("scale=%g", pr.Scale))
-	db, err := stage(p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
+	db, err := stage(ctx, p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
 		return corpus.Generate(corpus.Config{Seed: pr.Seed, Scale: pr.Scale, Workers: pr.Workers})
 	})
 	if err != nil {
 		return nil, err
 	}
-	return p.runFrom(db, corpusKey, pr)
+	return p.runFrom(ctx, db, corpusKey, pr)
 }
 
 // RunOn executes the graph on an externally supplied database (the
 // CSV/JSONL ingestion path). The corpus stage key is a content hash of
 // the recipes, so identical datasets share downstream artifacts no
-// matter how they arrived.
-func (p *Pipeline) RunOn(db *recipedb.DB, pr Params) (*Result, error) {
+// matter how they arrived. Cancellation behaves as in Run.
+func (p *Pipeline) RunOn(ctx context.Context, db *recipedb.DB, pr Params) (*Result, error) {
 	pr = withDefaults(pr)
 	corpusKey := artifact.Key("dataset", ContentKey(db))
-	stored, err := stage(p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
+	stored, err := stage(ctx, p.store, corpusKey, corpusCodec, func() (*recipedb.DB, error) {
 		return db, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return p.runFrom(stored, corpusKey, pr)
+	return p.runFrom(ctx, stored, corpusKey, pr)
 }
 
 func withDefaults(pr Params) Params {
@@ -141,12 +145,12 @@ func withDefaults(pr Params) Params {
 // chains run concurrently with the worker budget split between the
 // outer fan-out and each chain's inner pdist / k-sweep, so total
 // concurrency stays bounded by Workers rather than multiplying.
-func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Result, error) {
+func (p *Pipeline) runFrom(ctx context.Context, db *recipedb.DB, corpusKey string, pr Params) (*Result, error) {
 	// The backend is deliberately absent from the mine key: all miners
 	// emit byte-identical pattern sets, so a backend switch on a warm
 	// store must hit the cached artifact, not recompute it.
 	mineKey := artifact.Key("mine", corpusKey, fmt.Sprintf("support=%g", pr.MinSupport))
-	mined, err := stage(p.store, mineKey, mineCodec, func() ([]core.RegionPatterns, error) {
+	mined, err := stage(ctx, p.store, mineKey, mineCodec, func() ([]core.RegionPatterns, error) {
 		return core.MineRegionsWith(db, pr.MinSupport, pr.Workers, pr.Miner)
 	})
 	if err != nil {
@@ -154,7 +158,7 @@ func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Resul
 	}
 
 	matKey := artifact.Key("matrices", mineKey)
-	feats, err := stage(p.store, matKey, matricesCodec, func() (*PatternFeatures, error) {
+	feats, err := stage(ctx, p.store, matKey, matricesCodec, func() (*PatternFeatures, error) {
 		t1, pm, err := core.BuildPatternFeatures(mined, pr.MinSupport)
 		if err != nil {
 			return nil, err
@@ -188,19 +192,19 @@ func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Resul
 	outer, inner := core.SplitWorkers(pr.Workers)
 	figs := &core.Figures{Table1: feats.Table1, Patterns: feats.Matrix, Mined: mined}
 	patternTree := func(metric distance.Metric, method hac.Method, key string) (*core.CuisineTree, error) {
-		d, err := stage(p.store, patternPdistKey(metric), pdistCodec, func() (*distance.Condensed, error) {
+		d, err := stage(ctx, p.store, patternPdistKey(metric), pdistCodec, func() (*distance.Condensed, error) {
 			return distance.PdistWorkers(feats.Matrix.X, metric, inner), nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		return stage(p.store, key, treeCodec, func() (*core.CuisineTree, error) {
+		return stage(ctx, p.store, key, treeCodec, func() (*core.CuisineTree, error) {
 			return linkTree("patterns-"+metric.String(), d, feats.Matrix.Regions, metric, method)
 		})
 	}
 	err = parallel.Do(outer,
 		func() (err error) {
-			figs.Elbow, err = stage(p.store, elbowKey, elbowCodec, func() (*kmeans.ElbowCurve, error) {
+			figs.Elbow, err = stage(ctx, p.store, elbowKey, elbowCodec, func() (*kmeans.ElbowCurve, error) {
 				return kmeans.Elbow(feats.Matrix.X, core.ElbowKMax, kmeans.Options{Seed: core.ElbowSeed, Workers: inner})
 			})
 			return err
@@ -218,32 +222,32 @@ func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Resul
 			return err
 		},
 		func() (err error) {
-			am, err := stage(p.store, authKey, authCodec, func() (*authenticity.Matrix, error) {
+			am, err := stage(ctx, p.store, authKey, authCodec, func() (*authenticity.Matrix, error) {
 				return authenticity.Build(db, authenticity.Options{MinRegionPrevalence: core.AuthMinRegionPrevalence})
 			})
 			if err != nil {
 				return err
 			}
 			figs.AuthMat = am
-			d, err := stage(p.store, authPdistKey, pdistCodec, func() (*distance.Condensed, error) {
+			d, err := stage(ctx, p.store, authPdistKey, pdistCodec, func() (*distance.Condensed, error) {
 				return distance.PdistWorkers(am.FeatureMatrix(), distance.Euclidean, inner), nil
 			})
 			if err != nil {
 				return err
 			}
-			figs.Auth, err = stage(p.store, keyAuth, treeCodec, func() (*core.CuisineTree, error) {
+			figs.Auth, err = stage(ctx, p.store, keyAuth, treeCodec, func() (*core.CuisineTree, error) {
 				return linkTree("authenticity-euclidean", d, am.Regions, distance.Euclidean, pr.Method)
 			})
 			return err
 		},
 		func() (err error) {
-			d, err := stage(p.store, geodistKey, geodistCodec, func() (*distance.Condensed, error) {
+			d, err := stage(ctx, p.store, geodistKey, geodistCodec, func() (*distance.Condensed, error) {
 				return geo.DistanceMatrix(db.Regions())
 			})
 			if err != nil {
 				return err
 			}
-			figs.Geo, err = stage(p.store, keyGeo, treeCodec, func() (*core.CuisineTree, error) {
+			figs.Geo, err = stage(ctx, p.store, keyGeo, treeCodec, func() (*core.CuisineTree, error) {
 				// Metric is a label only; the distances are haversine km
 				// (see core.GeographicTree).
 				return linkTree("geographic", d, db.Regions(), distance.Euclidean, pr.Method)
@@ -256,7 +260,7 @@ func (p *Pipeline) runFrom(db *recipedb.DB, corpusKey string, pr Params) (*Resul
 	}
 
 	valKey := artifact.Key("validate", keyEuc, keyCos, keyJac, keyAuth, keyGeo)
-	v, err := stage(p.store, valKey, validateCodec, func() (*core.Validation, error) {
+	v, err := stage(ctx, p.store, valKey, validateCodec, func() (*core.Validation, error) {
 		return core.Validate(figs)
 	})
 	if err != nil {

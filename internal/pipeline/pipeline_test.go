@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,7 +70,7 @@ func TestByteIdentityWithMonolithicBuild(t *testing.T) {
 		// warm-disk (fresh pipeline over the same dir).
 		p := New(artifact.NewStore(artifact.Options{Dir: dir}))
 		for _, state := range []string{"cold", "warm-memory"} {
-			res, err := p.Run(testParams(core.DefaultLinkage, workers))
+			res, err := p.Run(context.Background(), testParams(core.DefaultLinkage, workers))
 			if err != nil {
 				t.Fatalf("workers=%d %s: %v", workers, state, err)
 			}
@@ -78,7 +79,7 @@ func TestByteIdentityWithMonolithicBuild(t *testing.T) {
 			}
 		}
 		p2 := New(artifact.NewStore(artifact.Options{Dir: dir}))
-		res, err := p2.Run(testParams(core.DefaultLinkage, workers))
+		res, err := p2.Run(context.Background(), testParams(core.DefaultLinkage, workers))
 		if err != nil {
 			t.Fatalf("workers=%d warm-disk: %v", workers, err)
 		}
@@ -97,10 +98,10 @@ func TestByteIdentityWithMonolithicBuild(t *testing.T) {
 // exactly once across the two runs.
 func TestLinkageOnlyChangeReusesUpstream(t *testing.T) {
 	p := New(nil)
-	if _, err := p.Run(testParams(hac.Average, 0)); err != nil {
+	if _, err := p.Run(context.Background(), testParams(hac.Average, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(testParams(hac.Ward, 0)); err != nil {
+	if _, err := p.Run(context.Background(), testParams(hac.Ward, 0)); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Store().Stats()
@@ -129,11 +130,11 @@ func TestLinkageOnlyChangeReusesUpstream(t *testing.T) {
 func TestMinSupportOnlyChangeReusesCorpus(t *testing.T) {
 	p := New(nil)
 	pr := testParams(core.DefaultLinkage, 0)
-	if _, err := p.Run(pr); err != nil {
+	if _, err := p.Run(context.Background(), pr); err != nil {
 		t.Fatal(err)
 	}
 	pr.MinSupport = 0.25
-	if _, err := p.Run(pr); err != nil {
+	if _, err := p.Run(context.Background(), pr); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Store().Stats()
@@ -158,7 +159,7 @@ func TestMinerChangeRecomputesNothing(t *testing.T) {
 	p := New(nil)
 	pr := testParams(core.DefaultLinkage, 0)
 	pr.Miner = miner.FPGrowth
-	res, err := p.Run(pr)
+	res, err := p.Run(context.Background(), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestMinerChangeRecomputesNothing(t *testing.T) {
 
 	for _, m := range []miner.Miner{miner.Apriori, miner.Eclat, nil} {
 		pr.Miner = m
-		res, err := p.Run(pr)
+		res, err := p.Run(context.Background(), pr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,10 +208,10 @@ func TestRunOnContentAddressing(t *testing.T) {
 	}
 	p := New(nil)
 	pr := Params{MinSupport: core.DefaultMinSupport, Method: core.DefaultLinkage}
-	if _, err := p.RunOn(db, pr); err != nil {
+	if _, err := p.RunOn(context.Background(), db, pr); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.RunOn(clone, pr); err != nil {
+	if _, err := p.RunOn(context.Background(), clone, pr); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Store().Stats()["mine"].Computed; got != 1 {
@@ -223,7 +224,7 @@ func TestRunOnContentAddressing(t *testing.T) {
 func TestCorruptedDiskArtifactFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	p := New(artifact.NewStore(artifact.Options{Dir: dir}))
-	res, err := p.Run(testParams(core.DefaultLinkage, 0))
+	res, err := p.Run(context.Background(), testParams(core.DefaultLinkage, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestCorruptedDiskArtifactFallsBack(t *testing.T) {
 		}
 	}
 	p2 := New(artifact.NewStore(artifact.Options{Dir: dir}))
-	res2, err := p2.Run(testParams(core.DefaultLinkage, 0))
+	res2, err := p2.Run(context.Background(), testParams(core.DefaultLinkage, 0))
 	if err != nil {
 		t.Fatalf("corrupted cache dir was fatal: %v", err)
 	}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Gate.Acquire (and so by Cache.Get) when
+// the pipeline pool and its wait queue are both full. The HTTP layer
+// maps it to 429 Too Many Requests with a Retry-After hint.
+var ErrSaturated = errors.New("server: pipeline saturated, try again later")
+
+// Gate is the bounded admission queue in front of pipeline runs. It
+// admits at most slots concurrent runs; when every slot is busy, up to
+// queue more callers wait in line, and beyond that Acquire fails fast
+// with ErrSaturated. The failure mode under overload is therefore a
+// cheap 429, not an unbounded pile of goroutines parked behind
+// single-flight.
+//
+// Only cache misses pass through the gate — hits and in-flight joins
+// are nearly free and bypass it entirely (see Cache.Get).
+type Gate struct {
+	slots    chan struct{} // one token per admitted run
+	queue    chan struct{} // one token per waiting caller
+	rejected atomic.Uint64
+}
+
+// NewGate returns a gate admitting slots concurrent runs with a wait
+// queue of depth queue. Non-positive values fall back to 1 slot / 0
+// queue (admit one run, reject the rest) — callers wanting no gate at
+// all pass a nil *Gate to NewCache instead.
+func NewGate(slots, queue int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{
+		slots: make(chan struct{}, slots),
+		queue: make(chan struct{}, queue),
+	}
+}
+
+// Acquire claims a run slot, waiting in the bounded queue if none is
+// free. It returns a release func that must be called exactly once when
+// the run finishes (or the slot is handed back unused). If the queue is
+// full it returns ErrSaturated immediately; if ctx expires while
+// waiting it returns ctx.Err().
+func (g *Gate) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+	defer func() { <-g.queue }()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.slots }
+
+// GateStats is a point-in-time snapshot of the gate for /metrics and
+// the server's stats payload.
+type GateStats struct {
+	Slots    int    // configured concurrency limit
+	Active   int    // runs currently admitted
+	QueueCap int    // configured queue depth
+	Queued   int    // callers currently waiting
+	Rejected uint64 // cumulative ErrSaturated count
+}
+
+// Stats snapshots the gate's occupancy and rejection counter.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Slots:    cap(g.slots),
+		Active:   len(g.slots),
+		QueueCap: cap(g.queue),
+		Queued:   len(g.queue),
+		Rejected: g.rejected.Load(),
+	}
+}

@@ -1,35 +1,49 @@
 // Package server exposes the cuisines Analysis facade as a JSON HTTP
-// API backed by an LRU analysis cache with single-flight deduplication.
-// The cuisined daemon (cmd/cuisined) is a thin wrapper around it; the
-// root package's Client speaks its wire format. See DESIGN.md §7.
+// API backed by an LRU analysis cache with single-flight deduplication,
+// bounded admission in front of the pipeline, request timeouts and a
+// Prometheus-text /metrics endpoint. The cuisined daemon (cmd/cuisined)
+// is a thin wrapper around it; the root package's Client speaks its
+// wire format. See DESIGN.md §7 and §12.
 package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"cuisines"
 )
 
-// Runner is the pipeline entry point the cache invokes on a miss. Tests
-// substitute a counting or stubbed runner; the daemon uses cuisines.Run.
-type Runner func(cuisines.Options) (*cuisines.Analysis, error)
+// Runner is the pipeline entry point the cache invokes on a miss. The
+// context is the flight's context, not any single request's: it is
+// cancelled only when every request waiting on the run has gone away,
+// at which point the pipeline stops at the next stage boundary. Tests
+// substitute counting or stubbed runners; the daemon uses
+// Engine.RunContext.
+type Runner func(context.Context, cuisines.Options) (*cuisines.Analysis, error)
 
 // Cache memoizes full pipeline runs keyed by canonicalized
 // cuisines.Options (seed, scale, min-support, linkage — never Workers
 // or Miner, which cannot change the output). A fixed number of
-// analyses is kept
-// with LRU eviction, and lookups are deduplicated single-flight style:
-// any number of concurrent Gets for the same key share exactly one
-// pipeline run.
+// analyses is kept with LRU eviction, and lookups are deduplicated
+// single-flight style: any number of concurrent Gets for the same key
+// share exactly one pipeline run.
+//
+// Each flight runs on its own goroutine under a context detached from
+// the request that started it, so the first caller hanging up never
+// kills a run other requests have joined; the flight is cancelled only
+// when its last waiter leaves. Misses pass through the admission gate
+// (when one is configured) before a flight is created, so a saturated
+// pipeline rejects new work instead of accumulating goroutines.
 //
 // The cache sits in front of the per-stage artifact store: an analysis
 // miss here still reuses every upstream stage artifact the engine
 // already holds (same corpus and mining run, different linkage), so an
 // eviction or a near-miss costs only the stages that actually differ.
 type Cache struct {
-	run Runner
-	max int
+	run  Runner
+	gate *Gate // nil = unbounded admission
+	max  int
 
 	mu      sync.Mutex
 	entries map[cuisines.Options]*entry
@@ -45,14 +59,19 @@ type Cache struct {
 // and err are final; waiters block on it outside the cache lock, so a
 // slow pipeline run never stalls hits on other keys. done distinguishes
 // a finished entry from an in-flight one under the cache lock (for the
-// hit vs in-flight-join counters).
+// hit vs in-flight-join counters). waiters counts requests currently
+// blocked on this flight; when the last one abandons the wait (its own
+// context expired) cancel is invoked and the pipeline run halts at its
+// next stage boundary.
 type entry struct {
-	key   cuisines.Options
-	elem  *list.Element
-	ready chan struct{}
-	done  bool
-	a     *cuisines.Analysis
-	err   error
+	key     cuisines.Options
+	elem    *list.Element
+	ready   chan struct{}
+	done    bool
+	waiters int
+	cancel  context.CancelFunc
+	a       *cuisines.Analysis
+	err     error
 }
 
 // DefaultCacheSize bounds distinct analyses kept when the caller passes
@@ -61,16 +80,20 @@ type entry struct {
 const DefaultCacheSize = 8
 
 // NewCache returns a Cache holding up to size analyses, running misses
-// through run (nil means cuisines.Run).
-func NewCache(size int, run Runner) *Cache {
+// through run (nil means cuisines.Run via a private engine). A non-nil
+// gate bounds how many misses may run or queue concurrently.
+func NewCache(size int, run Runner, gate *Gate) *Cache {
 	if size <= 0 {
 		size = DefaultCacheSize
 	}
 	if run == nil {
-		run = cuisines.Run
+		run = func(ctx context.Context, opts cuisines.Options) (*cuisines.Analysis, error) {
+			return cuisines.NewEngine(cuisines.EngineConfig{}).RunContext(ctx, opts)
+		}
 	}
 	return &Cache{
 		run:     run,
+		gate:    gate,
 		max:     size,
 		entries: make(map[cuisines.Options]*entry),
 		lru:     list.New(),
@@ -94,8 +117,11 @@ func Key(opts cuisines.Options) (cuisines.Options, error) {
 // Get returns the analysis for opts, computing it at most once per key
 // no matter how many callers arrive concurrently. Failed runs are
 // reported to every waiter of that flight but never cached, so a later
-// request retries.
-func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
+// request retries. ctx governs only this caller's wait (and admission
+// queueing): when it expires the caller leaves with ctx's error, and
+// the shared run is cancelled only if no other waiter remains. A miss
+// that cannot be admitted returns ErrSaturated.
+func (c *Cache) Get(ctx context.Context, opts cuisines.Options) (*cuisines.Analysis, error) {
 	key, err := Key(opts)
 	if err != nil {
 		return nil, err
@@ -106,18 +132,35 @@ func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		if e.done {
-			c.hits++
-		} else {
-			c.inFlightJoins++
-		}
-		c.lru.MoveToFront(e.elem)
+		c.joinLocked(e)
 		c.mu.Unlock()
-		<-e.ready
-		return e.a, e.err
+		return c.await(ctx, e)
+	}
+	c.mu.Unlock()
+
+	// A miss means a pipeline run: pass the admission gate (bounded
+	// queue) before creating the flight. Joins and hits above stay
+	// gate-free — they cost nothing.
+	release := func() {}
+	if c.gate != nil {
+		release, err = c.gate.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		// Someone created the flight while we queued; give the slot
+		// back and join them.
+		c.joinLocked(e)
+		c.mu.Unlock()
+		release()
+		return c.await(ctx, e)
 	}
 	c.misses++
-	e := &entry{key: key, ready: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	e := &entry{key: key, ready: make(chan struct{}), waiters: 1, cancel: cancel}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	for c.lru.Len() > c.max {
@@ -131,16 +174,52 @@ func (c *Cache) Get(opts cuisines.Options) (*cuisines.Analysis, error) {
 	}
 	c.mu.Unlock()
 
-	e.a, e.err = c.run(runOpts)
-	c.mu.Lock()
-	e.done = true
-	if e.err != nil && c.entries[key] == e { // failed: forget, allow retry
-		c.lru.Remove(e.elem)
-		delete(c.entries, key)
+	go func() {
+		defer release()
+		a, err := c.run(fctx, runOpts)
+		cancel()
+		c.mu.Lock()
+		e.a, e.err = a, err
+		e.done = true
+		if err != nil && c.entries[key] == e { // failed: forget, allow retry
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		close(e.ready)
+	}()
+	return c.await(ctx, e)
+}
+
+// joinLocked registers the caller on an existing entry. Caller holds mu.
+func (c *Cache) joinLocked(e *entry) {
+	if e.done {
+		c.hits++
+	} else {
+		c.inFlightJoins++
+		e.waiters++
 	}
-	c.mu.Unlock()
-	close(e.ready)
-	return e.a, e.err
+	c.lru.MoveToFront(e.elem)
+}
+
+// await blocks until the flight completes or ctx expires. A waiter that
+// leaves early decrements the flight's refcount; the last one out
+// cancels the run.
+func (c *Cache) await(ctx context.Context, e *entry) (*cuisines.Analysis, error) {
+	select {
+	case <-e.ready:
+		return e.a, e.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !e.done {
+			e.waiters--
+			if e.waiters == 0 {
+				e.cancel()
+			}
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
 // Stats returns the cache's counters and current occupancy.

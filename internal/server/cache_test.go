@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -15,15 +16,15 @@ import (
 func TestCacheLRUEviction(t *testing.T) {
 	runsPerScale := map[float64]int{}
 	var mu sync.Mutex
-	c := NewCache(2, func(o cuisines.Options) (*cuisines.Analysis, error) {
+	c := NewCache(2, func(_ context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
 		mu.Lock()
 		runsPerScale[o.Scale]++
 		mu.Unlock()
 		return nil, nil
-	})
+	}, nil)
 	get := func(scale float64) {
 		t.Helper()
-		if _, err := c.Get(cuisines.Options{Scale: scale}); err != nil {
+		if _, err := c.Get(context.Background(), cuisines.Options{Scale: scale}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,27 +45,27 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheDoesNotCacheFailures(t *testing.T) {
 	fail := true
 	runs := 0
-	c := NewCache(4, func(cuisines.Options) (*cuisines.Analysis, error) {
+	c := NewCache(4, func(context.Context, cuisines.Options) (*cuisines.Analysis, error) {
 		runs++
 		if fail {
 			return nil, errors.New("transient")
 		}
 		return nil, nil
-	})
-	if _, err := c.Get(cuisines.Options{}); err == nil {
+	}, nil)
+	if _, err := c.Get(context.Background(), cuisines.Options{}); err == nil {
 		t.Fatal("first run should fail")
 	}
 	if c.Len() != 0 {
 		t.Fatalf("failed run cached (len %d)", c.Len())
 	}
 	fail = false
-	if _, err := c.Get(cuisines.Options{}); err != nil {
+	if _, err := c.Get(context.Background(), cuisines.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if runs != 2 {
 		t.Fatalf("runs = %d, want 2 (failure must not be cached)", runs)
 	}
-	if _, err := c.Get(cuisines.Options{}); err != nil {
+	if _, err := c.Get(context.Background(), cuisines.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if runs != 2 {
@@ -73,23 +74,23 @@ func TestCacheDoesNotCacheFailures(t *testing.T) {
 }
 
 func TestCacheRejectsBadOptions(t *testing.T) {
-	c := NewCache(1, func(cuisines.Options) (*cuisines.Analysis, error) {
+	c := NewCache(1, func(context.Context, cuisines.Options) (*cuisines.Analysis, error) {
 		t.Fatal("runner called for invalid options")
 		return nil, nil
-	})
-	if _, err := c.Get(cuisines.Options{Linkage: "centroid"}); err == nil {
+	}, nil)
+	if _, err := c.Get(context.Background(), cuisines.Options{Linkage: "centroid"}); err == nil {
 		t.Fatal("unknown linkage accepted")
 	}
 }
 
 func TestCacheKeyIgnoresWorkers(t *testing.T) {
 	runs := 0
-	c := NewCache(4, func(cuisines.Options) (*cuisines.Analysis, error) {
+	c := NewCache(4, func(context.Context, cuisines.Options) (*cuisines.Analysis, error) {
 		runs++
 		return nil, nil
-	})
+	}, nil)
 	for _, w := range []int{0, 1, 8} {
-		if _, err := c.Get(cuisines.Options{Workers: w}); err != nil {
+		if _, err := c.Get(context.Background(), cuisines.Options{Workers: w}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -101,15 +102,15 @@ func TestCacheKeyIgnoresWorkers(t *testing.T) {
 func TestCacheKeyIgnoresMiner(t *testing.T) {
 	runs := 0
 	var sawMiner string
-	c := NewCache(4, func(o cuisines.Options) (*cuisines.Analysis, error) {
+	c := NewCache(4, func(_ context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
 		runs++
 		sawMiner = o.Miner
 		return nil, nil
-	})
+	}, nil)
 	// Every backend spelling shares one analysis: the output is
 	// backend-independent, so keying on it would only waste cache slots.
 	for _, m := range []string{"fpgrowth", "", "eclat", "apriori", "FP-Growth"} {
-		if _, err := c.Get(cuisines.Options{Miner: m}); err != nil {
+		if _, err := c.Get(context.Background(), cuisines.Options{Miner: m}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func TestCacheKeyIgnoresMiner(t *testing.T) {
 	if sawMiner != "fpgrowth" {
 		t.Fatalf("runner saw miner %q, want the requested %q", sawMiner, "fpgrowth")
 	}
-	if _, err := c.Get(cuisines.Options{Miner: "bogus"}); err == nil {
+	if _, err := c.Get(context.Background(), cuisines.Options{Miner: "bogus"}); err == nil {
 		t.Fatal("unknown miner accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestCacheStatsEndpointCounters(t *testing.T) {
 	a := stubAnalysis(t)
 	s := New(Config{
 		Base:   cuisines.Options{Scale: testScale},
-		Runner: func(cuisines.Options) (*cuisines.Analysis, error) { return a, nil },
+		Runner: func(context.Context, cuisines.Options) (*cuisines.Analysis, error) { return a, nil },
 	})
 	for i := 0; i < 3; i++ {
 		if code, body, _ := get(t, s, "/v1/table"); code != 200 {
@@ -121,7 +122,7 @@ func TestCacheStatsCountsEvictions(t *testing.T) {
 	s := New(Config{
 		Base:      cuisines.Options{Scale: testScale},
 		CacheSize: 1,
-		Runner:    func(cuisines.Options) (*cuisines.Analysis, error) { return a, nil },
+		Runner:    func(context.Context, cuisines.Options) (*cuisines.Analysis, error) { return a, nil },
 	})
 	for i := 0; i < 3; i++ {
 		path := fmt.Sprintf("/v1/table?seed=%d", i+1)

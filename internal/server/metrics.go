@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metrics is the server's hand-rolled metric registry. It keeps exactly
+// the series /metrics exposes — per-endpoint request/error counters, a
+// latency histogram, and an in-flight gauge — behind one mutex, and
+// renders them in the Prometheus text exposition format. Hand-rolled
+// because the repo takes no dependencies: the text format is three line
+// shapes (# HELP, # TYPE, sample), well within reach of fmt.Fprintf.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // endpoint → status code → count
+	errors   map[string]uint64         // endpoint → 5xx count
+	inflight map[string]int64          // endpoint → current requests
+	latency  map[string]*histogram     // endpoint → seconds histogram
+}
+
+// latencyBuckets are the histogram upper bounds in seconds. The range
+// spans cache hits (sub-millisecond JSON encoding) through cold full
+// pipeline runs (seconds), roughly 2.5x apart.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] is the number of observations <= buckets[i], and the
+// rendered +Inf bucket equals count.
+type histogram struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]uint64),
+		errors:   make(map[string]uint64),
+		inflight: make(map[string]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// incInflight / decInflight bracket a request's handler execution.
+func (m *metrics) incInflight(endpoint string) {
+	m.mu.Lock()
+	m.inflight[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) decInflight(endpoint string) {
+	m.mu.Lock()
+	m.inflight[endpoint]--
+	m.mu.Unlock()
+}
+
+// observe records one completed request: its final status code and
+// wall-clock duration in seconds.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	if code >= 500 {
+		m.errors[endpoint]++
+	}
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.latency[endpoint] = h
+	}
+	h.observe(seconds)
+}
+
+// render writes every HTTP series in Prometheus text format. Series are
+// emitted in sorted label order so successive scrapes diff cleanly.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP cuisined_http_requests_total Requests served, by endpoint pattern and status code.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		byCode := m.requests[ep]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "cuisined_http_requests_total{endpoint=%q,code=%q} %d\n", ep, strconv.Itoa(c), byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP cuisined_http_request_errors_total Requests answered with a 5xx status, by endpoint pattern.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_request_errors_total counter\n")
+	for _, ep := range sortedKeys(m.errors) {
+		fmt.Fprintf(w, "cuisined_http_request_errors_total{endpoint=%q} %d\n", ep, m.errors[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP cuisined_http_requests_inflight Requests currently being handled, by endpoint pattern.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_requests_inflight gauge\n")
+	for _, ep := range sortedKeys(m.inflight) {
+		fmt.Fprintf(w, "cuisined_http_requests_inflight{endpoint=%q} %d\n", ep, m.inflight[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP cuisined_http_request_duration_seconds Request latency, by endpoint pattern.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_request_duration_seconds histogram\n")
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "cuisined_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, formatFloat(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "cuisined_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "cuisined_http_request_duration_seconds_sum{endpoint=%q} %s\n", ep, formatFloat(h.sum))
+		fmt.Fprintf(w, "cuisined_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// form that round-trips.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// handleMetrics renders the full exposition: HTTP series plus the
+// analysis-cache, per-stage artifact-cache, and admission-gate series
+// the daemon already tracks internally.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w)
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP cuisined_analysis_cache_entries Analyses currently cached or in flight.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_analysis_cache_entries gauge\n")
+	fmt.Fprintf(w, "cuisined_analysis_cache_entries %d\n", cs.Size)
+	fmt.Fprintf(w, "# HELP cuisined_analysis_cache_capacity Configured analysis cache capacity.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_analysis_cache_capacity gauge\n")
+	fmt.Fprintf(w, "cuisined_analysis_cache_capacity %d\n", cs.Capacity)
+	fmt.Fprintf(w, "# HELP cuisined_analysis_cache_events_total Analysis cache traffic, by event.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_analysis_cache_events_total counter\n")
+	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"hit\"} %d\n", cs.Hits)
+	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"miss\"} %d\n", cs.Misses)
+	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"eviction\"} %d\n", cs.Evictions)
+	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"inflight_join\"} %d\n", cs.InFlightJoins)
+
+	if s.engine != nil {
+		stages := s.engine.CacheStats()
+		fmt.Fprintf(w, "# HELP cuisined_stage_cache_events_total Per-stage artifact cache traffic, by stage and event.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_stage_cache_events_total counter\n")
+		for _, kind := range sortedKeys(stages) {
+			st := stages[kind]
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"hit\"} %d\n", kind, st.Hits)
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"disk_hit\"} %d\n", kind, st.DiskHits)
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"computed\"} %d\n", kind, st.Computed)
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"eviction\"} %d\n", kind, st.Evictions)
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"inflight_join\"} %d\n", kind, st.InFlightJoins)
+		}
+	}
+
+	if s.gate != nil {
+		gs := s.gate.Stats()
+		fmt.Fprintf(w, "# HELP cuisined_admission_slots Configured concurrent pipeline-run limit.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_admission_slots gauge\n")
+		fmt.Fprintf(w, "cuisined_admission_slots %d\n", gs.Slots)
+		fmt.Fprintf(w, "# HELP cuisined_admission_active Pipeline runs currently admitted.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_admission_active gauge\n")
+		fmt.Fprintf(w, "cuisined_admission_active %d\n", gs.Active)
+		fmt.Fprintf(w, "# HELP cuisined_admission_queue_capacity Configured admission queue depth.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_admission_queue_capacity gauge\n")
+		fmt.Fprintf(w, "cuisined_admission_queue_capacity %d\n", gs.QueueCap)
+		fmt.Fprintf(w, "# HELP cuisined_admission_queued Requests currently waiting for a pipeline slot.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_admission_queued gauge\n")
+		fmt.Fprintf(w, "cuisined_admission_queued %d\n", gs.Queued)
+		fmt.Fprintf(w, "# HELP cuisined_admission_rejected_total Requests rejected with 429 because the queue was full.\n")
+		fmt.Fprintf(w, "# TYPE cuisined_admission_rejected_total counter\n")
+		fmt.Fprintf(w, "cuisined_admission_rejected_total %d\n", gs.Rejected)
+	}
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cuisines"
+)
+
+// The ops tests cover the serving path's production behaviors:
+// admission rejection (429 + Retry-After), request timeouts (503),
+// flight detachment (joiners survive the first caller hanging up),
+// between-stage cancellation (counting runner), and the /metrics
+// exposition.
+
+// opsAnalysis computes one tiny real analysis shared (read-only) by the
+// ops tests whose stub runners must return something handlers can
+// serve.
+var (
+	opsOnce sync.Once
+	opsA    *cuisines.Analysis
+	opsErr  error
+)
+
+func opsAnalysis(t *testing.T) *cuisines.Analysis {
+	t.Helper()
+	opsOnce.Do(func() {
+		opsA, opsErr = cuisines.Run(cuisines.Options{Scale: testScale})
+	})
+	if opsErr != nil {
+		t.Fatal(opsErr)
+	}
+	return opsA
+}
+
+func TestSaturationReturns429WithRetryAfter(t *testing.T) {
+	a := opsAnalysis(t)
+	started := make(chan struct{}, 4)
+	block := make(chan struct{})
+	s := New(Config{
+		Base: cuisines.Options{Scale: testScale},
+		Runner: func(ctx context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
+			started <- struct{}{}
+			select {
+			case <-block:
+				return a, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+		MaxConcurrentRuns: 1,
+		MaxQueuedRuns:     -1, // no queue: reject as soon as the slot is busy
+		RetryAfter:        3 * time.Second,
+	})
+
+	firstDone := make(chan int, 1)
+	go func() {
+		code, _, _ := get(t, s, "/v1/table?scale=0.011")
+		firstDone <- code
+	}()
+	<-started // the only run slot is now held
+
+	code, body, header := get(t, s, "/v1/table?scale=0.012")
+	if code != 429 {
+		t.Fatalf("saturated request: code %d, want 429 (body %s)", code, body)
+	}
+	if ra := header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	}
+
+	close(block)
+	if code := <-firstDone; code != 200 {
+		t.Fatalf("admitted request: code %d, want 200", code)
+	}
+	// With the slot free again the previously rejected key is admitted.
+	if code, body, _ := get(t, s, "/v1/table?scale=0.012"); code != 200 {
+		t.Fatalf("retry after saturation: code %d, want 200 (body %s)", code, body)
+	}
+	if gs := s.gate.Stats(); gs.Rejected != 1 {
+		t.Fatalf("gate rejected = %d, want 1", gs.Rejected)
+	}
+}
+
+func TestRequestTimeoutReturns503(t *testing.T) {
+	s := New(Config{
+		Base: cuisines.Options{Scale: testScale},
+		Runner: func(ctx context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
+			<-ctx.Done() // never completes on its own
+			return nil, ctx.Err()
+		},
+		RequestTimeout: 30 * time.Millisecond,
+	})
+	code, body, _ := get(t, s, "/v1/table")
+	if code != 503 {
+		t.Fatalf("timed-out request: code %d, want 503 (body %s)", code, body)
+	}
+}
+
+// TestJoinersSurviveCallerExit is the flight-detachment contract: the
+// request that starts a pipeline run may hang up without killing the
+// run for everyone who joined it.
+func TestJoinersSurviveCallerExit(t *testing.T) {
+	a := opsAnalysis(t)
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	var runs, cancelledRuns int
+	var mu sync.Mutex
+	c := NewCache(4, func(ctx context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		close(entered)
+		<-block
+		if ctx.Err() != nil {
+			mu.Lock()
+			cancelledRuns++
+			mu.Unlock()
+			return nil, ctx.Err()
+		}
+		return a, nil
+	}, nil)
+
+	// Caller 1 starts the flight, then hangs up.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx1, cuisines.Options{})
+		done1 <- err
+	}()
+	<-entered
+
+	// Caller 2 joins the same in-flight run.
+	done2 := make(chan *cuisines.Analysis, 1)
+	go func() {
+		got, err := c.Get(context.Background(), cuisines.Options{})
+		if err != nil {
+			t.Errorf("joiner: %v", err)
+		}
+		done2 <- got
+	}()
+	// Wait until the joiner is registered on the flight, then abandon
+	// caller 1.
+	waitFor(t, func() bool { return c.Stats().InFlightJoins == 1 })
+	cancel1()
+	if err := <-done1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller got %v, want context.Canceled", err)
+	}
+
+	close(block)
+	if got := <-done2; got != a {
+		t.Fatalf("joiner got %v, want the shared analysis", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if runs != 1 || cancelledRuns != 0 {
+		t.Fatalf("runs=%d cancelledRuns=%d, want 1 and 0 (flight must not die with caller 1)", runs, cancelledRuns)
+	}
+}
+
+// TestCancellationHaltsRun uses a counting runner that mimics the real
+// pipeline's between-stage checks: once every waiter is gone the flight
+// context is cancelled and the run stops at the next stage boundary.
+func TestCancellationHaltsRun(t *testing.T) {
+	const totalStages = 5
+	stageGate := make(chan struct{})         // test releases one stage at a time
+	stagesRun := make(chan int, totalStages) // records each stage that executed
+	finished := make(chan error, 1)
+	// The runner mirrors the real pipeline's stage helper: each stage
+	// waits for its inputs (the gate), then checks the flight context at
+	// the boundary before doing its work.
+	c := NewCache(4, func(ctx context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
+		for i := 0; i < totalStages; i++ {
+			<-stageGate
+			if err := ctx.Err(); err != nil {
+				finished <- err
+				return nil, err
+			}
+			stagesRun <- i
+		}
+		finished <- nil
+		return nil, nil
+	}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx, cuisines.Options{})
+		got <- err
+	}()
+
+	stageGate <- struct{}{}
+	if i := <-stagesRun; i != 0 {
+		t.Fatalf("first stage = %d, want 0", i)
+	}
+	stageGate <- struct{}{}
+	if i := <-stagesRun; i != 1 {
+		t.Fatalf("second stage = %d, want 1", i)
+	}
+	cancel() // sole waiter leaves: flight context is cancelled
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller got %v, want context.Canceled", err)
+	}
+	// By the time Get returned, the last-waiter-out path has cancelled
+	// the flight context; releasing the remaining gates must not run
+	// further stages.
+	close(stageGate)
+	if err := <-finished; !errors.Is(err, context.Canceled) {
+		t.Fatalf("run finished with %v, want context.Canceled at a stage boundary", err)
+	}
+	if n := len(stagesRun); n != 0 {
+		t.Fatalf("%d further stages ran after cancellation, want 0", n)
+	}
+}
+
+func TestMetricsScrapeAndMonotonicity(t *testing.T) {
+	s := testServer(t)
+	if code, _, _ := get(t, s, "/v1/table"); code != 200 {
+		t.Fatal("warmup request failed")
+	}
+	_, body1, _ := get(t, s, "/metrics")
+	before := parseMetrics(t, string(body1))
+
+	for i := 0; i < 3; i++ {
+		if code, _, _ := get(t, s, "/v1/table"); code != 200 {
+			t.Fatal("request failed")
+		}
+	}
+	get(t, s, "/v1/definitely-not-a-route")
+
+	_, body2, _ := get(t, s, "/metrics")
+	after := parseMetrics(t, string(body2))
+
+	key := `cuisined_http_requests_total{endpoint="/v1/table",code="200"}`
+	if after[key] < before[key]+3 {
+		t.Fatalf("%s went %v -> %v, want +>=3", key, before[key], after[key])
+	}
+	if _, ok := after[`cuisined_http_requests_total{endpoint="unmatched",code="404"}`]; !ok {
+		t.Fatalf("unmatched requests not counted:\n%s", body2)
+	}
+	if _, ok := after[`cuisined_http_request_duration_seconds_bucket{endpoint="/v1/table",le="+Inf"}`]; !ok {
+		t.Fatalf("latency histogram missing +Inf bucket:\n%s", body2)
+	}
+	// Every counter present in the first scrape must be monotonically
+	// non-decreasing in the second.
+	for k, v := range before {
+		if !strings.Contains(k, "_total{") && !strings.HasSuffix(strings.SplitN(k, "{", 2)[0], "_total") &&
+			!strings.Contains(k, "_bucket{") && !strings.Contains(k, "_count{") {
+			continue // gauges may go either way
+		}
+		if after[k] < v {
+			t.Fatalf("counter %s decreased: %v -> %v", k, v, after[k])
+		}
+	}
+}
+
+// parseMetrics parses Prometheus text exposition into series -> value.
+func parseMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed metrics value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if len(out) == 0 {
+		t.Fatalf("empty metrics exposition:\n%s", body)
+	}
+	return out
+}
+
+// waitFor polls cond until it holds or the test deadline effectively
+// expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -1,11 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
+	"time"
 
 	"cuisines"
 )
@@ -26,19 +31,50 @@ type Config struct {
 	// engine. Ignored when Runner is set.
 	Engine *cuisines.Engine
 	// Runner overrides the pipeline entry point entirely (tests use
-	// counting or stubbed runners); nil means Engine.Run.
+	// counting or stubbed runners); nil means Engine.RunContext.
 	Runner Runner
+	// MaxConcurrentRuns bounds concurrent pipeline runs admitted on
+	// cache misses. 0 means GOMAXPROCS; negative disables admission
+	// control entirely (unbounded, the pre-gate behavior).
+	MaxConcurrentRuns int
+	// MaxQueuedRuns bounds how many misses may wait for a run slot
+	// before new ones are rejected with 429. 0 means
+	// DefaultMaxQueuedRuns; negative means no queue (reject as soon as
+	// every slot is busy).
+	MaxQueuedRuns int
+	// RequestTimeout caps each request's wall-clock time, enforced via
+	// the request context (expired requests answer 503). 0 disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses; 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// AccessLog, when non-nil, receives one structured (JSON) line per
+	// completed request. Nil disables access logging.
+	AccessLog *log.Logger
 }
 
+// DefaultMaxQueuedRuns is the admission queue depth when the caller
+// leaves MaxQueuedRuns zero: enough to absorb a burst, small enough
+// that queued callers still see sub-pipeline-run waits.
+const DefaultMaxQueuedRuns = 32
+
+// DefaultRetryAfter is the Retry-After hint for 429 responses.
+const DefaultRetryAfter = time.Second
+
 // Server serves the Analysis facade over HTTP. All endpoints are GETs
-// under /v1 (plus /healthz); every response is JSON except
-// /v1/newick/{figure}, which is plain text so that its bytes equal
-// Analysis.Newick exactly.
+// under /v1 (plus /healthz and /metrics); every response is JSON except
+// /v1/newick/{figure} (plain text, byte-equal to Analysis.Newick) and
+// /metrics (Prometheus text format).
 type Server struct {
-	base   cuisines.Options
-	cache  *Cache
-	engine *cuisines.Engine // nil when a custom Runner bypasses the stage graph
-	mux    *http.ServeMux
+	base       cuisines.Options
+	cache      *Cache
+	engine     *cuisines.Engine // nil when a custom Runner bypasses the stage graph
+	gate       *Gate            // nil when admission control is disabled
+	met        *metrics
+	timeout    time.Duration // per-request cap; 0 = none
+	retryAfter time.Duration
+	accessLog  *log.Logger
+	mux        *http.ServeMux
 }
 
 // New builds a Server with its routes registered.
@@ -49,45 +85,163 @@ func New(cfg Config) *Server {
 		if engine == nil {
 			engine = cuisines.NewEngine(cuisines.EngineConfig{})
 		}
-		run = engine.Run
+		run = engine.RunContext
 	} else {
 		// A custom Runner bypasses the stage graph entirely; reporting
 		// a bystander engine's counters would misdescribe the serving
 		// path, so cachestats shows stages only when the engine serves.
 		engine = nil
 	}
+	var gate *Gate
+	if cfg.MaxConcurrentRuns >= 0 {
+		slots := cfg.MaxConcurrentRuns
+		if slots == 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		queue := cfg.MaxQueuedRuns
+		switch {
+		case queue == 0:
+			queue = DefaultMaxQueuedRuns
+		case queue < 0:
+			queue = 0
+		}
+		gate = NewGate(slots, queue)
+	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
 	s := &Server{
-		base:   cfg.Base,
-		cache:  NewCache(cfg.CacheSize, run),
-		engine: engine,
+		base:       cfg.Base,
+		cache:      NewCache(cfg.CacheSize, run, gate),
+		engine:     engine,
+		gate:       gate,
+		met:        newMetrics(),
+		timeout:    cfg.RequestTimeout,
+		retryAfter: retryAfter,
+		accessLog:  cfg.AccessLog,
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/cachestats", s.handleCacheStats)
-	mux.HandleFunc("GET /v1/table", s.with(s.handleTable))
-	mux.HandleFunc("GET /v1/dendrogram/{figure}", s.withFigure(s.handleDendrogram))
-	mux.HandleFunc("GET /v1/newick/{figure}", s.withFigure(s.handleNewick))
-	mux.HandleFunc("GET /v1/clusters/{figure}", s.withFigure(s.handleClusters))
-	mux.HandleFunc("GET /v1/closest/{figure}", s.withFigure(s.handleClosest))
-	mux.HandleFunc("GET /v1/fingerprint/{region}", s.with(s.handleFingerprint))
-	mux.HandleFunc("GET /v1/patterns/{region}", s.with(s.handlePatterns))
-	mux.HandleFunc("GET /v1/rules/{region}", s.with(s.handleRules))
-	mux.HandleFunc("GET /v1/pairings/{region}", s.with(s.handlePairings))
-	mux.HandleFunc("GET /v1/substitutes/{region}", s.with(s.handleSubstitutes))
-	mux.HandleFunc("GET /v1/map", s.with(s.handleMap))
-	mux.HandleFunc("GET /v1/claims", s.with(s.handleClaims))
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.route(mux, "GET /healthz", s.handleHealth)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /v1/cachestats", s.handleCacheStats)
+	s.route(mux, "GET /v1/table", s.with(s.handleTable))
+	s.route(mux, "GET /v1/dendrogram/{figure}", s.withFigure(s.handleDendrogram))
+	s.route(mux, "GET /v1/newick/{figure}", s.withFigure(s.handleNewick))
+	s.route(mux, "GET /v1/clusters/{figure}", s.withFigure(s.handleClusters))
+	s.route(mux, "GET /v1/closest/{figure}", s.withFigure(s.handleClosest))
+	s.route(mux, "GET /v1/fingerprint/{region}", s.with(s.handleFingerprint))
+	s.route(mux, "GET /v1/patterns/{region}", s.with(s.handlePatterns))
+	s.route(mux, "GET /v1/rules/{region}", s.with(s.handleRules))
+	s.route(mux, "GET /v1/pairings/{region}", s.with(s.handlePairings))
+	s.route(mux, "GET /v1/substitutes/{region}", s.with(s.handleSubstitutes))
+	s.route(mux, "GET /v1/map", s.with(s.handleMap))
+	s.route(mux, "GET /v1/claims", s.with(s.handleClaims))
+	s.route(mux, "GET /v1/stats", s.handleStats)
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// route registers h with the in-flight gauge wrapped around it. The
+// gauge lives here (not in ServeHTTP) because the endpoint label is the
+// route pattern, known statically at registration but only after mux
+// dispatch in the middleware.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	endpoint := strings.TrimPrefix(pattern, "GET ")
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.met.incInflight(endpoint)
+		defer s.met.decInflight(endpoint)
+		h(w, r)
+	})
+}
+
+// ServeHTTP implements http.Handler: it arms the per-request timeout,
+// dispatches through the mux, then records metrics and the access-log
+// line against the matched route pattern (mux sets r.Pattern on the
+// request it was handed, so it is readable here after dispatch —
+// unmatched requests get the synthetic "unmatched" label without a
+// catch-all route, keeping the mux's own 404/405 behavior intact).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	endpoint := strings.TrimPrefix(r.Pattern, "GET ")
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	elapsed := time.Since(start)
+	s.met.observe(endpoint, sw.status(), elapsed.Seconds())
+	if s.accessLog != nil {
+		line, err := json.Marshal(accessRecord{
+			Time:       start.UTC().Format(time.RFC3339Nano),
+			Method:     r.Method,
+			Path:       r.URL.RequestURI(),
+			Endpoint:   endpoint,
+			Status:     sw.status(),
+			Bytes:      sw.bytes,
+			DurationMS: float64(elapsed) / float64(time.Millisecond),
+			Remote:     r.RemoteAddr,
+		})
+		if err == nil {
+			s.accessLog.Print(string(line))
+		}
+	}
+}
+
+// accessRecord is one access-log line. Fields are stable: dashboards
+// may key on them.
+type accessRecord struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Endpoint   string  `json:"endpoint"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote"`
+}
+
+// statusWriter records the final status code and body size for metrics
+// and access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
 
 // Warm computes and caches the analysis for the server's base options
-// (the -preload path in cuisined).
-func (s *Server) Warm() error {
-	_, err := s.cache.Get(s.base)
+// (the -preload path in cuisined). ctx cancels the warmup — tie it to
+// the daemon's signal context so shutdown aborts an unfinished preload.
+func (s *Server) Warm(ctx context.Context) error {
+	_, err := s.cache.Get(ctx, s.base)
 	return err
 }
 
@@ -145,7 +299,8 @@ type analysisHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.An
 type figureHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure)
 
 // with resolves the request's analysis through the cache before calling
-// h: bad analysis parameters are a 400, pipeline failures a 500.
+// h: bad analysis parameters are a 400, saturation a 429, an expired or
+// abandoned request a 503, any other pipeline failure a 500.
 func (s *Server) with(h analysisHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		opts, _, err := s.requestOptions(r)
@@ -153,12 +308,33 @@ func (s *Server) with(h analysisHandler) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		a, err := s.cache.Get(opts)
+		a, err := s.cache.Get(r.Context(), opts)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeAnalysisError(w, err)
 			return
 		}
 		h(w, r, a)
+	}
+}
+
+// writeAnalysisError maps Cache.Get failures onto status codes: a full
+// admission queue is the client's cue to back off and retry (429 +
+// Retry-After); a request that ran out of time or whose client went
+// away is a 503 (the service was too slow, not wrong); anything else is
+// a genuine pipeline failure (500).
+func (s *Server) writeAnalysisError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		secs := int(s.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
@@ -244,7 +420,7 @@ func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request, a *cuisin
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing region parameter"))
 		return
 	}
-	if !hasRegion(a, region) {
+	if !a.HasRegion(region) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region %q", region))
 		return
 	}
@@ -424,32 +600,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	a, err := s.cache.Get(opts)
+	a, err := s.cache.Get(r.Context(), opts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeAnalysisError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, cuisines.StatsResponse{Stats: a.Stats(), Miner: canon.Miner})
 }
 
 // pathRegion parses the {region} path segment, answering 404 itself on
-// unknown regions.
+// unknown regions. Membership checks go through Analysis.HasRegion,
+// which memoizes a region index — no per-request linear scan.
 func pathRegion(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) (string, bool) {
 	region := r.PathValue("region")
-	if !hasRegion(a, region) {
+	if !a.HasRegion(region) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region %q", region))
 		return "", false
 	}
 	return region, true
-}
-
-func hasRegion(a *cuisines.Analysis, region string) bool {
-	for _, r := range a.Regions() {
-		if r == region {
-			return true
-		}
-	}
-	return false
 }
 
 // queryInt parses an optional integer query parameter.

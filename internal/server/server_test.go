@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,7 +34,7 @@ func testServer(t *testing.T) *Server {
 	fixtureOnce.Do(func() {
 		fixtureSrv = New(Config{
 			Base: cuisines.Options{Scale: testScale},
-			Runner: func(o cuisines.Options) (*cuisines.Analysis, error) {
+			Runner: func(_ context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
 				fixtureRuns.Add(1)
 				return cuisines.Run(o)
 			},
@@ -256,7 +257,7 @@ func checkError(t *testing.T, body []byte) {
 func TestBadFigureSkipsPipeline(t *testing.T) {
 	s := New(Config{
 		Base: cuisines.Options{Scale: testScale},
-		Runner: func(cuisines.Options) (*cuisines.Analysis, error) {
+		Runner: func(context.Context, cuisines.Options) (*cuisines.Analysis, error) {
 			t.Error("pipeline run triggered for an invalid figure")
 			return nil, nil
 		},
@@ -302,7 +303,7 @@ func TestConcurrentRequestsDeduplicated(t *testing.T) {
 	var runs atomic.Int64
 	s := New(Config{
 		Base: cuisines.Options{Scale: testScale},
-		Runner: func(o cuisines.Options) (*cuisines.Analysis, error) {
+		Runner: func(_ context.Context, o cuisines.Options) (*cuisines.Analysis, error) {
 			runs.Add(1)
 			return cuisines.Run(o)
 		},
