@@ -3,6 +3,7 @@ package cuisines
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -116,12 +117,14 @@ type StatsResponse struct {
 
 // StageCacheStats counts one pipeline stage's artifact cache traffic.
 // Hits are memory-tier hits, DiskHits are persistent-tier loads,
-// Computed counts actual stage executions — the number the staged
-// pipeline exists to minimize — and InFlightJoins counts requests that
-// latched onto an already-running computation.
+// PeerHits are artifacts fetched from cluster peers instead of
+// recomputed, Computed counts actual stage executions — the number the
+// staged pipeline exists to minimize — and InFlightJoins counts
+// requests that latched onto an already-running computation.
 type StageCacheStats struct {
 	Hits          uint64 `json:"hits"`
 	DiskHits      uint64 `json:"disk_hits"`
+	PeerHits      uint64 `json:"peer_hits"`
 	Computed      uint64 `json:"computed"`
 	Evictions     uint64 `json:"evictions"`
 	InFlightJoins uint64 `json:"inflight_joins"`
@@ -148,12 +151,63 @@ type CacheStatsResponse struct {
 	Stages   map[string]StageCacheStats `json:"stages"`
 }
 
+// ClusterPeer is one peer's liveness as seen by the answering node's
+// health checker.
+type ClusterPeer struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Failures is the current consecutive probe-failure count.
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_err,omitempty"`
+	// LastProbe is the RFC3339 time of the last completed probe.
+	LastProbe string `json:"last_probe,omitempty"`
+}
+
+// ClusterExchangeStats counts the answering node's peer artifact
+// exchange traffic: the fetch side (this node asking peers on local
+// store misses) and the serve side (peers asking this node).
+// FetchRejects counts responses that failed frame verification —
+// nonzero means a peer is corrupt or incompatible, never that the
+// cache took bad bytes.
+type ClusterExchangeStats struct {
+	FetchAttempts uint64 `json:"fetch_attempts"`
+	FetchHits     uint64 `json:"fetch_hits"`
+	FetchMisses   uint64 `json:"fetch_misses"`
+	FetchErrors   uint64 `json:"fetch_errors"`
+	FetchRejects  uint64 `json:"fetch_rejects"`
+	ServeHits     uint64 `json:"serve_hits"`
+	ServeMisses   uint64 `json:"serve_misses"`
+}
+
+// ClusterResponse is the /v1/cluster body. Enabled false (the whole
+// body zero) means the daemon runs single-node; otherwise it reports
+// this node's identity, the static ring membership, per-peer health,
+// exchange counters, and how many requests it proxied to ring owners
+// (ProxyFallbacks counts proxies that failed over to local compute
+// because the owner died mid-request).
+type ClusterResponse struct {
+	Enabled        bool                 `json:"enabled"`
+	Self           string               `json:"self,omitempty"`
+	Members        []string             `json:"members,omitempty"`
+	Replicas       int                  `json:"replicas,omitempty"`
+	Peers          []ClusterPeer        `json:"peers,omitempty"`
+	Exchange       ClusterExchangeStats `json:"exchange"`
+	Proxied        uint64               `json:"proxied"`
+	ProxyFallbacks uint64               `json:"proxy_fallbacks"`
+}
+
 // Client is a thin client for the cuisined daemon: each method mirrors
 // the Analysis accessor of the same name, evaluated daemon-side against
 // a cached analysis.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8372".
 	BaseURL string
+	// BaseURLs are additional daemon replicas. Every request method is
+	// an idempotent GET, so on a transport error or a 5xx the client
+	// retries the next replica in order (BaseURL first, then BaseURLs)
+	// until one answers. Client errors (4xx) and 429 backpressure are
+	// returned as-is — every replica would say the same thing.
+	BaseURLs []string
 	// HTTPClient overrides http.DefaultClient when non-nil.
 	HTTPClient *http.Client
 	// Options selects which analysis the daemon answers from. Zero
@@ -164,6 +218,18 @@ type Client struct {
 
 // NewClient returns a Client for the daemon at baseURL.
 func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// NewClusterClient returns a Client that fails over across a fleet of
+// cuisined replicas. The first URL is the preferred one; the rest are
+// tried in order when it is unreachable or answering 5xx.
+func NewClusterClient(baseURLs ...string) *Client {
+	c := &Client{}
+	if len(baseURLs) > 0 {
+		c.BaseURL = baseURLs[0]
+		c.BaseURLs = baseURLs[1:]
+	}
+	return c
+}
 
 // query encodes the client's non-zero analysis options plus any extra
 // endpoint parameters.
@@ -201,13 +267,58 @@ var (
 	maxErrorBodyBytes int64 = 256 << 10
 )
 
-// get performs one GET and decodes the response: 2xx bodies into out
-// (raw bytes when out is *[]byte), error bodies into an error. Bodies
-// beyond maxResponseBytes fail with a "response too large" error;
-// oversized error bodies are truncated rather than rejected (the
-// status line still carries the signal).
+// statusError is an HTTP-level failure from one replica, carrying the
+// status code so get can tell retryable server trouble (5xx) from
+// definitive answers (4xx, 429).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryable reports whether another replica might answer differently:
+// transport errors and 5xx yes; anything the server deliberately said
+// (4xx, 429) no.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true // transport-level failure
+}
+
+// get performs one GET and decodes the response, failing over across
+// replicas: each base URL is tried in order until one answers with
+// something non-retryable. The common single-URL client degenerates to
+// exactly the old behavior.
 func (c *Client) get(ctx context.Context, path string, extra url.Values, out any) error {
-	u := c.BaseURL + path
+	bases := make([]string, 0, 1+len(c.BaseURLs))
+	if c.BaseURL != "" || len(c.BaseURLs) == 0 {
+		bases = append(bases, c.BaseURL)
+	}
+	bases = append(bases, c.BaseURLs...)
+	var lastErr error
+	for _, base := range bases {
+		err := c.getFrom(ctx, base, path, extra, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// getFrom performs one GET against one replica and decodes the
+// response: 2xx bodies into out (raw bytes when out is *[]byte), error
+// bodies into an error. Bodies beyond maxResponseBytes fail with a
+// "response too large" error; oversized error bodies are truncated
+// rather than rejected (the status line still carries the signal).
+func (c *Client) getFrom(ctx context.Context, base, path string, extra url.Values, out any) error {
+	u := base + path
 	if q := c.query(extra); len(q) > 0 {
 		u += "?" + q.Encode()
 	}
@@ -233,9 +344,9 @@ func (c *Client) get(ctx context.Context, path string, extra url.Values, out any
 		}
 		var e ErrorResponse
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("cuisines: daemon %s: %s", resp.Status, e.Error)
+			return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("cuisines: daemon %s: %s", resp.Status, e.Error)}
 		}
-		return fmt.Errorf("cuisines: daemon %s on %s", resp.Status, path)
+		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("cuisines: daemon %s on %s", resp.Status, path)}
 	}
 	// Read one byte past the cap so an exactly-at-cap body still
 	// succeeds and an over-cap one is detected rather than silently
@@ -266,6 +377,14 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 func (c *Client) CacheStats(ctx context.Context) (CacheStatsResponse, error) {
 	var s CacheStatsResponse
 	err := c.get(ctx, "/v1/cachestats", nil, &s)
+	return s, err
+}
+
+// Cluster reports the answering node's cluster membership and peer
+// exchange counters (/v1/cluster). Enabled false means single-node.
+func (c *Client) Cluster(ctx context.Context) (ClusterResponse, error) {
+	var s ClusterResponse
+	err := c.get(ctx, "/v1/cluster", nil, &s)
 	return s, err
 }
 

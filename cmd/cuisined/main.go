@@ -12,6 +12,9 @@
 //	cuisined -cache-dir /var/cache/cuisined  # persist stage artifacts; restarts come back warm
 //	cuisined -doctor -cache-dir /var/cache/cuisined  # self-check, then exit
 //
+//	cuisined -self http://10.0.0.1:8372 \
+//	    -peers http://10.0.0.2:8372,http://10.0.0.3:8372  # cluster member
+//
 //	curl localhost:8372/healthz
 //	curl localhost:8372/v1/table
 //	curl localhost:8372/v1/newick/fig5-authenticity
@@ -27,6 +30,12 @@
 // that share a corpus and mining run (different linkage, different
 // figure) share that work; with -cache-dir the artifacts persist
 // across restarts.
+//
+// Clustering: with -self and -peers every node joins a consistent-hash
+// ring (see DESIGN.md §13). Requests are proxied to the analysis key's
+// live owner (single hop), and on a local artifact miss a node asks
+// its peers for the bytes before recomputing — one node's cold miss is
+// the fleet's warm hit. /v1/cluster reports the node's fleet view.
 //
 // Operability: every request runs under a context — a client that
 // disconnects (or outlives -request-timeout) stops its pipeline run at
@@ -46,13 +55,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cuisines"
+	"cuisines/internal/cluster"
 	"cuisines/internal/core"
 	"cuisines/internal/corpus"
 	"cuisines/internal/miner"
+	"cuisines/internal/pipeline"
 	"cuisines/internal/server"
 )
 
@@ -82,6 +94,13 @@ func main() {
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "max time to read an entire request including its body")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 
+		selfURL      = flag.String("self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8372); required with -peers")
+		peersList    = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes; enables peer artifact exchange and consistent-hash routing")
+		replicas     = flag.Int("replicas", 0, "ring owners per analysis key (0 = default 2); higher survives more node deaths warm")
+		peerInterval = flag.Duration("peer-interval", cluster.DefaultProbeInterval, "peer health probe period")
+		peerTimeout  = flag.Duration("peer-timeout", cluster.DefaultProbeTimeout, "per-probe timeout; failing peers back off exponentially")
+		fetchTimeout = flag.Duration("peer-fetch-timeout", cluster.DefaultFetchTimeout, "per-artifact peer fetch timeout")
+
 		doctor = flag.Bool("doctor", false, "run startup self-checks (cache dir writable, artifact codec versions), then exit")
 	)
 	flag.Parse()
@@ -107,6 +126,35 @@ func main() {
 	}
 	engine := cuisines.NewEngine(cuisines.EngineConfig{CacheDir: *cacheDir, MaxCacheBytes: *cacheMax})
 
+	var node *cluster.Node
+	if *peersList != "" {
+		if *selfURL == "" {
+			log.Fatal("-peers requires -self (this node's own base URL as peers reach it)")
+		}
+		var peers []string
+		for _, p := range strings.Split(*peersList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:          *selfURL,
+			Peers:         peers,
+			Replicas:      *replicas,
+			Store:         engine.ArtifactStore(),
+			Codecs:        pipeline.Codecs(),
+			Now:           time.Now,
+			ProbeInterval: *peerInterval,
+			ProbeTimeout:  *peerTimeout,
+			FetchTimeout:  *fetchTimeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster: self=%s peers=%d replicas=%d", node.Self(), len(peers), node.Ring().Replicas())
+	}
+
 	var accessLog *log.Logger
 	if *accessLogs {
 		accessLog = log.New(os.Stdout, "", 0)
@@ -127,12 +175,19 @@ func main() {
 		RequestTimeout:    *reqTimeout,
 		RetryAfter:        *retryAfter,
 		AccessLog:         accessLog,
+		Cluster:           node,
 	})
 
 	// The signal context exists before any background work starts so
 	// both the preload below and graceful shutdown hang off it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if node != nil {
+		// The blocking health loop lives here: internal/cluster spawns no
+		// goroutines of its own (the nakedgo lint contract).
+		go node.Run(ctx)
+	}
 
 	preloadDone := make(chan struct{})
 	if *preload {

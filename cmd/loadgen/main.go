@@ -22,6 +22,15 @@
 // closest cycle through the daemon's region list (fetched once up
 // front, which also warms the analysis so the measured window exercises
 // the cache-hit serving path — pass -no-warm to skip and measure cold).
+//
+// -base (alias -addr) accepts a comma-separated target list to drive a
+// cluster: requests spread over the targets with the same smooth
+// weighted round-robin used for the endpoint mix, so two runs against
+// equal fleets issue the identical (endpoint, node) sequence. -local
+// sets the single-hop header on every request, pinning each node to
+// serve locally instead of proxying to the ring owner — the mode that
+// exercises the peer artifact exchange (and what BENCH_9.json's
+// cluster-warm/cluster-cold comparison measures).
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"cuisines/internal/benchfmt"
+	"cuisines/internal/server"
 )
 
 // endpoint is one weighted traffic class. path yields the request path
@@ -50,6 +60,27 @@ type endpoint struct {
 	current int // smooth-WRR state
 	sent    int
 	path    func(i int) string
+}
+
+// target is one daemon base URL in the (possibly single-element)
+// cluster target list, rotated by the same smooth WRR as endpoints —
+// all targets weigh 1, so traffic spreads evenly and deterministically.
+type target struct {
+	base    string
+	current int // smooth-WRR state
+}
+
+// nextTarget rotates the target list (equal-weight smooth WRR).
+func nextTarget(ts []*target) *target {
+	var best *target
+	for _, t := range ts {
+		t.current++
+		if best == nil || t.current > best.current {
+			best = t
+		}
+	}
+	best.current -= len(ts)
+	return best
 }
 
 // sample is one completed request.
@@ -70,8 +101,10 @@ type tally struct {
 }
 
 func main() {
+	var base string
+	flag.StringVar(&base, "base", "http://localhost:8372", "daemon base URL, or a comma-separated list to spread load over a cluster")
+	flag.StringVar(&base, "addr", "http://localhost:8372", "alias for -base")
 	var (
-		base     = flag.String("base", "http://localhost:8372", "daemon base URL")
 		duration = flag.Duration("duration", 30*time.Second, "measurement window")
 		rate     = flag.Float64("rate", 50, "request launch rate per second (open loop)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
@@ -80,11 +113,22 @@ func main() {
 		label  = flag.String("label", "load", "label for the recorded run")
 		out    = flag.String("o", "", "append the run to this benchjson file (empty = summary only)")
 		noWarm = flag.Bool("no-warm", false, "skip the warmup fetch; region-cycling endpoints then require a warm daemon")
+		local  = flag.Bool("local", false, "set the single-hop header so each node serves locally instead of proxying to the ring owner")
 	)
 	flag.Parse()
 
+	var targets []*target
+	for _, b := range strings.Split(base, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			targets = append(targets, &target{base: b})
+		}
+	}
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("empty -base target list"))
+	}
+
 	hc := &http.Client{Timeout: *timeout}
-	regions, err := fetchRegions(hc, *base, *noWarm)
+	regions, err := fetchRegions(hc, targets[0].base, *noWarm, *local)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,9 +140,9 @@ func main() {
 		fatal(fmt.Errorf("rate must be positive"))
 	}
 
-	fmt.Fprintf(os.Stderr, "loadgen: %s for %v at %.0f req/s (%d endpoint classes)\n",
-		*base, *duration, *rate, len(eps))
-	tallies := run(hc, *base, eps, *rate, *duration)
+	fmt.Fprintf(os.Stderr, "loadgen: %d target(s) starting %s for %v at %.0f req/s (%d endpoint classes)\n",
+		len(targets), targets[0].base, *duration, *rate, len(eps))
+	tallies := run(hc, targets, eps, *rate, *duration, *local)
 
 	results, err := report(eps, tallies, *duration)
 	if err != nil {
@@ -126,15 +170,29 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// get issues one GET, optionally pinned to local serving via the
+// single-hop header (see server.HopHeader).
+func get(hc *http.Client, url string, local bool) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if local {
+		req.Header.Set(server.HopHeader, "1")
+	}
+	return hc.Do(req)
+}
+
 // fetchRegions pulls /v1/table once: it returns the region names the
 // cycling endpoints interpolate, and as a side effect warms the
 // daemon's default analysis so the measured window hits the serving
-// path, not one giant cold pipeline run.
-func fetchRegions(hc *http.Client, base string, skip bool) ([]string, error) {
+// path, not one giant cold pipeline run. Against a cluster only the
+// first target is warmed — the others warm through the peer exchange.
+func fetchRegions(hc *http.Client, base string, skip, local bool) ([]string, error) {
 	if skip {
 		return nil, nil
 	}
-	resp, err := hc.Get(base + "/v1/table")
+	resp, err := get(hc, base+"/v1/table", local)
 	if err != nil {
 		return nil, fmt.Errorf("warmup fetch: %w", err)
 	}
@@ -240,8 +298,9 @@ func next(eps []*endpoint) *endpoint {
 }
 
 // run launches requests on a fixed clock until the window closes, then
-// waits for stragglers and returns per-endpoint tallies.
-func run(hc *http.Client, base string, eps []*endpoint, rate float64, window time.Duration) map[string]*tally {
+// waits for stragglers and returns per-endpoint tallies. Each request
+// goes to the next target in WRR order.
+func run(hc *http.Client, targets []*target, eps []*endpoint, rate float64, window time.Duration, local bool) map[string]*tally {
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Nanosecond
@@ -289,19 +348,20 @@ loop:
 			e := next(eps)
 			p := e.path(e.sent)
 			e.sent++
+			base := nextTarget(targets).base
 			inflight.Add(1)
-			go func(name, path string) {
+			go func(name, url string) {
 				defer inflight.Done()
 				start := time.Now()
 				code := 0
-				resp, err := hc.Get(base + path)
+				resp, err := get(hc, url, local)
 				if err == nil {
 					_, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					code = resp.StatusCode
 				}
 				samples <- sample{endpoint: name, code: code, latency: time.Since(start)}
-			}(e.name, p)
+			}(e.name, base+p)
 		}
 	}
 	inflight.Wait()
@@ -332,9 +392,13 @@ func report(eps []*endpoint, tallies map[string]*tally, window time.Duration) ([
 			Iterations: int64(t.ok),
 			NsPerOp:    float64(sum) / float64(t.ok),
 			Metrics: map[string]float64{
-				"p50_ms":   ms(percentile(t.okLatency, 50)),
-				"p90_ms":   ms(percentile(t.okLatency, 90)),
-				"p99_ms":   ms(percentile(t.okLatency, 99)),
+				"p50_ms": ms(percentile(t.okLatency, 50)),
+				"p90_ms": ms(percentile(t.okLatency, 90)),
+				"p99_ms": ms(percentile(t.okLatency, 99)),
+				// max makes a single cold compute visible next to an
+				// otherwise-warm window — the cluster-cold vs cluster-warm
+				// comparison in BENCH_9.json reads straight off it.
+				"max_ms":   ms(t.okLatency[len(t.okLatency)-1]),
 				"rps":      float64(t.ok) / window.Seconds(),
 				"sent":     float64(t.sent),
 				"http_429": float64(t.rejected),

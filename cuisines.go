@@ -332,6 +332,7 @@ func (e *Engine) CacheStats() map[string]StageCacheStats {
 		out[kind] = StageCacheStats{
 			Hits:          s.Hits,
 			DiskHits:      s.DiskHits,
+			PeerHits:      s.PeerHits,
 			Computed:      s.Computed,
 			Evictions:     s.Evictions,
 			InFlightJoins: s.InFlightJoins,
@@ -343,6 +344,11 @@ func (e *Engine) CacheStats() map[string]StageCacheStats {
 // CacheSummary renders the per-stage counters as one stable line per
 // stage — the daemon logs it at shutdown.
 func (e *Engine) CacheSummary() []string { return e.pipe.Store().Summary() }
+
+// ArtifactStore exposes the engine's stage artifact store. The cluster
+// layer (internal/cluster) attaches to it: installing a peer fetcher
+// and serving its frames to peers. Library users never need it.
+func (e *Engine) ArtifactStore() *artifact.Store { return e.pipe.Store() }
 
 // Run executes the complete pipeline with a private single-run engine.
 // Callers making repeated or overlapping runs should hold a shared

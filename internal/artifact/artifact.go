@@ -14,6 +14,13 @@
 // computation, so two analyses that share an upstream stage never mine
 // the same corpus twice even when they arrive together.
 //
+// A store may also have a Fetcher: a hook consulted between the disk
+// tier and compute, which is how a clustered daemon asks its peers for
+// an artifact before recomputing it (internal/cluster, DESIGN.md §13).
+// Fetched frames pass the same verification as disk reads — magic,
+// format and codec versions, kind, checksum — so a misbehaving peer can
+// never poison the cache.
+//
 // Disk artifacts are best-effort by design: a missing, truncated,
 // corrupted or version-mismatched file is treated as a cache miss and
 // recomputed, never a fatal error. Writes go through a temp file +
@@ -24,6 +31,7 @@ package artifact
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -79,17 +87,28 @@ func Key(kind string, parts ...string) string {
 }
 
 // Stats counts one kind's cache traffic. Hits are memory-tier hits,
-// DiskHits are disk-tier loads, Computed counts actual stage
+// DiskHits are disk-tier loads, PeerHits are artifacts obtained from a
+// cluster peer via the Fetcher hook, Computed counts actual stage
 // executions, Evictions counts memory-tier LRU evictions, and
 // InFlightJoins counts callers that latched onto an in-flight
 // computation instead of starting their own.
 type Stats struct {
 	Hits          uint64 `json:"hits"`
 	DiskHits      uint64 `json:"disk_hits"`
+	PeerHits      uint64 `json:"peer_hits"`
 	Computed      uint64 `json:"computed"`
 	Evictions     uint64 `json:"evictions"`
 	InFlightJoins uint64 `json:"inflight_joins"`
 }
+
+// Fetcher is the peer-exchange hook: on a local miss (memory and disk)
+// the store asks it for the key's framed encoding before computing.
+// The returned bytes must be a full frame (EncodeFrame layout); the
+// store verifies and decodes them itself, so a fetcher cannot inject
+// an unverified value. A (nil, false) return means no peer had it.
+// The context is the requesting caller's — fetchers must give up when
+// it expires so peer fetches honor request deadlines.
+type Fetcher func(ctx context.Context, key string, codec Codec) ([]byte, bool)
 
 // Options configures a Store.
 type Options struct {
@@ -122,6 +141,9 @@ type Store struct {
 	dir     string
 	max     int
 	maxDisk int64
+
+	fetchMu sync.RWMutex
+	fetch   Fetcher // nil = no peer tier
 
 	diskMu    sync.Mutex // guards diskTotal and GC scans
 	diskTotal int64      // running estimate of disk-tier bytes; -1 = unknown
@@ -171,6 +193,20 @@ func NewStore(opts Options) *Store {
 // DiskEnabled reports whether the store has a disk tier.
 func (s *Store) DiskEnabled() bool { return s.dir != "" }
 
+// SetFetcher installs (or clears) the peer-exchange hook. Safe to call
+// while the store is serving; the hook applies to subsequent misses.
+func (s *Store) SetFetcher(f Fetcher) {
+	s.fetchMu.Lock()
+	s.fetch = f
+	s.fetchMu.Unlock()
+}
+
+func (s *Store) fetcher() Fetcher {
+	s.fetchMu.RLock()
+	defer s.fetchMu.RUnlock()
+	return s.fetch
+}
+
 // statsFor returns the mutable counter block for a kind. Caller holds mu.
 func (s *Store) statsFor(kind string) *Stats {
 	st := s.stats[kind]
@@ -182,11 +218,15 @@ func (s *Store) statsFor(kind string) *Stats {
 }
 
 // GetOrCompute returns the artifact under key, resolving it through the
-// memory tier, then the disk tier, then compute — whichever answers
-// first. Concurrent calls for the same key share one resolution.
-// Failed computations are reported to every waiter of that flight but
-// never cached, so a later call retries.
-func (s *Store) GetOrCompute(key string, codec Codec, compute func() (any, error)) (any, error) {
+// memory tier, then the disk tier, then the peer fetcher (when one is
+// installed), then compute — whichever answers first. Concurrent calls
+// for the same key share one resolution; a joiner whose ctx expires
+// leaves with ctx's error while the shared flight runs on. Failed
+// computations are reported to every waiter of that flight but never
+// cached, so a later call retries. The flight holder's ctx gates the
+// peer fetch and is re-checked before compute, so an expired request
+// never starts a stage execution on a cold key.
+func (s *Store) GetOrCompute(ctx context.Context, key string, codec Codec, compute func() (any, error)) (any, error) {
 	kind := codec.Kind()
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -198,8 +238,12 @@ func (s *Store) GetOrCompute(key string, codec Codec, compute func() (any, error
 		}
 		s.lru.MoveToFront(e.elem)
 		s.mu.Unlock()
-		<-e.ready
-		return e.v, e.err
+		select {
+		case <-e.ready:
+			return e.v, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &entry{key: key, kind: kind, ready: make(chan struct{})}
 	e.elem = s.lru.PushFront(e)
@@ -216,27 +260,58 @@ func (s *Store) GetOrCompute(key string, codec Codec, compute func() (any, error
 	s.mu.Unlock()
 
 	if v, ok := s.loadDisk(key, codec); ok {
-		s.finish(e, kind, v, nil, false)
+		s.finish(e, kind, v, nil, srcDisk)
 		return v, nil
 	}
+	if f := s.fetcher(); f != nil && ctx.Err() == nil {
+		if frame, ok := f(ctx, key, codec); ok {
+			// Decode re-verifies the frame end to end (magic, versions,
+			// kind, checksum): the fetcher's word is never trusted.
+			if v, err := DecodeFrame(frame, codec); err == nil {
+				s.finish(e, kind, v, nil, srcPeer)
+				s.saveFrame(key, codec, frame)
+				return v, nil
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// The deadline expired during the peer fetch: fail this flight
+		// (failed flights are forgotten, so the next request retries)
+		// rather than starting a stage execution nobody will wait for.
+		s.finish(e, kind, nil, err, srcAbort)
+		return nil, err
+	}
 	v, err := compute()
-	s.finish(e, kind, v, err, true)
+	s.finish(e, kind, v, err, srcCompute)
 	if err == nil {
 		s.saveDisk(key, codec, v)
 	}
 	return v, err
 }
 
+// source labels where a flight's result came from, for the counters.
+type source int
+
+const (
+	srcCompute source = iota
+	srcDisk
+	srcPeer
+	srcAbort // flight failed before compute started; counts nothing
+)
+
 // finish publishes a flight's result and updates counters.
-func (s *Store) finish(e *entry, kind string, v any, err error, computed bool) {
+func (s *Store) finish(e *entry, kind string, v any, err error, src source) {
 	e.v, e.err = v, err
 	s.mu.Lock()
 	e.done = true
 	st := s.statsFor(kind)
-	if computed {
-		st.Computed++
-	} else {
+	switch src {
+	case srcDisk:
 		st.DiskHits++
+	case srcPeer:
+		st.PeerHits++
+	case srcCompute:
+		st.Computed++
 	}
 	if err != nil && s.entries[e.key] == e { // failed: forget, allow retry
 		s.lru.Remove(e.elem)
@@ -277,18 +352,119 @@ func (s *Store) Summary() []string {
 	out := make([]string, len(kinds))
 	for i, k := range kinds {
 		st := stats[k]
-		out[i] = fmt.Sprintf("%s: hits=%d disk_hits=%d computed=%d evictions=%d inflight_joins=%d",
-			k, st.Hits, st.DiskHits, st.Computed, st.Evictions, st.InFlightJoins)
+		out[i] = fmt.Sprintf("%s: hits=%d disk_hits=%d peer_hits=%d computed=%d evictions=%d inflight_joins=%d",
+			k, st.Hits, st.DiskHits, st.PeerHits, st.Computed, st.Evictions, st.InFlightJoins)
 	}
 	return out
 }
 
-// Disk format: magic, format version, codec kind + version, payload
-// length, payload sha256, payload. Anything that fails a check is
-// silently a miss.
+// Frame format — shared by the disk tier and the peer wire protocol:
+// magic, format version, codec version, kind length, payload length,
+// kind, payload sha256, payload. All integers little-endian uint32.
+// On disk anything that fails a check is silently a miss; over the
+// wire it rejects the peer's response.
 var diskMagic = [4]byte{'C', 'A', 'R', 'T'}
 
-const diskFormatVersion = 1
+const (
+	diskFormatVersion = 1
+	frameHeaderSize   = 4 + 4*4 // magic + {format, codec version, kind len, payload len}
+)
+
+// EncodeFrame encodes v with codec and wraps the encoding in the
+// store's verified frame: the exact bytes saveDisk writes and peers
+// exchange. The payload exists twice transiently (encoding + frame);
+// acceptable even for the tens-of-MB matrix artifacts.
+func EncodeFrame(codec Codec, v any) ([]byte, error) {
+	var payload []byte
+	if ae, ok := codec.(AppendEncoder); ok {
+		p, err := ae.AppendEncode(nil, v)
+		if err != nil {
+			return nil, err
+		}
+		payload = p
+	} else {
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, v); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
+	}
+	kind := codec.Kind()
+	sum := sha256.Sum256(payload)
+	frame := make([]byte, 0, frameHeaderSize+len(kind)+sha256.Size+len(payload))
+	frame = append(frame, diskMagic[:]...)
+	frame = binary.LittleEndian.AppendUint32(frame, diskFormatVersion)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(codec.Version()))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(kind)))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, kind...)
+	frame = append(frame, sum[:]...)
+	frame = append(frame, payload...)
+	return frame, nil
+}
+
+// framePayload verifies every frame invariant — magic, format version,
+// codec version, kind, length, checksum — and returns the payload as a
+// subslice of data (no copy; artifacts run to tens of MB).
+func framePayload(data []byte, codec Codec) ([]byte, error) {
+	if len(data) < frameHeaderSize {
+		return nil, fmt.Errorf("artifact frame: truncated header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != diskMagic {
+		return nil, fmt.Errorf("artifact frame: bad magic")
+	}
+	var (
+		format     = binary.LittleEndian.Uint32(data[4:])
+		codecVer   = binary.LittleEndian.Uint32(data[8:])
+		kindLen    = binary.LittleEndian.Uint32(data[12:])
+		payloadLen = binary.LittleEndian.Uint32(data[16:])
+	)
+	if format != diskFormatVersion {
+		return nil, fmt.Errorf("artifact frame: format v%d, want v%d", format, diskFormatVersion)
+	}
+	if int(codecVer) != codec.Version() {
+		return nil, fmt.Errorf("artifact frame: %s codec v%d, want v%d", codec.Kind(), codecVer, codec.Version())
+	}
+	if kindLen > 256 {
+		return nil, fmt.Errorf("artifact frame: kind length %d", kindLen)
+	}
+	rest := data[frameHeaderSize:]
+	if uint64(len(rest)) < uint64(kindLen)+sha256.Size+uint64(payloadLen) {
+		return nil, fmt.Errorf("artifact frame: truncated body")
+	}
+	if string(rest[:kindLen]) != codec.Kind() {
+		return nil, fmt.Errorf("artifact frame: kind %q, want %q", rest[:kindLen], codec.Kind())
+	}
+	rest = rest[kindLen:]
+	var sum [sha256.Size]byte
+	copy(sum[:], rest)
+	payload := rest[sha256.Size:][:payloadLen]
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("artifact frame: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// VerifyFrame checks a frame's integrity without decoding the payload —
+// the cheap pre-flight for serving a disk file to a peer as-is.
+func VerifyFrame(data []byte, codec Codec) error {
+	_, err := framePayload(data, codec)
+	return err
+}
+
+// DecodeFrame verifies a frame end to end and decodes its payload with
+// codec. The decoded value may alias data (BytesDecoder codecs subslice
+// it), so callers must not reuse data's backing array afterwards.
+func DecodeFrame(data []byte, codec Codec) (any, error) {
+	payload, err := framePayload(data, codec)
+	if err != nil {
+		return nil, err
+	}
+	if bd, ok := codec.(BytesDecoder); ok {
+		return bd.DecodeBytes(payload)
+	}
+	return codec.Decode(bytes.NewReader(payload))
+}
 
 // path returns the disk file for a key. Kind and codec version are in
 // the name so `ls` of a cache dir reads as an inventory and version
@@ -320,47 +496,7 @@ func (s *Store) loadDisk(key string, codec Codec) (any, bool) {
 	if err != nil {
 		return nil, false
 	}
-	r := bytes.NewReader(data)
-	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != diskMagic {
-		return nil, false
-	}
-	var header struct {
-		Format, CodecVersion uint32
-		KindLen, PayloadLen  uint32
-	}
-	if err := binary.Read(r, binary.LittleEndian, &header); err != nil {
-		return nil, false
-	}
-	if header.Format != diskFormatVersion || int(header.CodecVersion) != codec.Version() {
-		return nil, false
-	}
-	if header.KindLen > 256 || int64(header.PayloadLen) > int64(r.Len()) {
-		return nil, false
-	}
-	kind := make([]byte, header.KindLen)
-	if _, err := io.ReadFull(r, kind); err != nil || string(kind) != codec.Kind() {
-		return nil, false
-	}
-	var sum [sha256.Size]byte
-	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, false
-	}
-	// The payload is the tail of the buffer ReadFile already holds;
-	// subslice it instead of copying — artifacts run to tens of MB.
-	if int64(r.Len()) < int64(header.PayloadLen) {
-		return nil, false
-	}
-	payload := data[len(data)-r.Len():][:header.PayloadLen]
-	if sha256.Sum256(payload) != sum {
-		return nil, false
-	}
-	var v any
-	if bd, ok := codec.(BytesDecoder); ok {
-		v, err = bd.DecodeBytes(payload)
-	} else {
-		v, err = codec.Decode(bytes.NewReader(payload))
-	}
+	v, err := DecodeFrame(data, codec)
 	if err != nil {
 		return nil, false
 	}
@@ -373,26 +509,29 @@ func (s *Store) loadDisk(key string, codec Codec) (any, bool) {
 
 // saveDisk writes an artifact to the disk tier, best effort: encoding
 // or I/O failures leave the cache cold but never fail the pipeline.
-// The header and checksum are written separately from the payload so a
-// large artifact is held in memory once, not twice.
 func (s *Store) saveDisk(key string, codec Codec, v any) {
 	if s.dir == "" {
 		return
 	}
-	var payload []byte
-	if ae, ok := codec.(AppendEncoder); ok {
-		p, err := ae.AppendEncode(nil, v)
-		if err != nil {
-			return
-		}
-		payload = p
-	} else {
-		var buf bytes.Buffer
-		if err := codec.Encode(&buf, v); err != nil {
-			return
-		}
-		payload = buf.Bytes()
+	frame, err := EncodeFrame(codec, v)
+	if err != nil {
+		return
 	}
+	s.writeFrame(key, codec, frame)
+}
+
+// saveFrame persists an already-verified peer frame as-is, so a node
+// that warmed from the cluster stays warm across its own restarts.
+func (s *Store) saveFrame(key string, codec Codec, frame []byte) {
+	if s.dir == "" {
+		return
+	}
+	s.writeFrame(key, codec, frame)
+}
+
+// writeFrame is the shared disk-tier write path: temp file + rename so
+// a crash mid-write cannot leave a torn artifact under the final name.
+func (s *Store) writeFrame(key string, codec Codec, frame []byte) {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return
 	}
@@ -401,20 +540,7 @@ func (s *Store) saveDisk(key string, codec Codec, v any) {
 		return
 	}
 	defer os.Remove(f.Name())
-	sum := sha256.Sum256(payload)
-	var header bytes.Buffer
-	header.Write(diskMagic[:])
-	binary.Write(&header, binary.LittleEndian, struct {
-		Format, CodecVersion uint32
-		KindLen, PayloadLen  uint32
-	}{diskFormatVersion, uint32(codec.Version()), uint32(len(codec.Kind())), uint32(len(payload))})
-	header.WriteString(codec.Kind())
-	header.Write(sum[:])
-	if _, err := f.Write(header.Bytes()); err != nil {
-		f.Close()
-		return
-	}
-	if _, err := f.Write(payload); err != nil {
+	if _, err := f.Write(frame); err != nil {
 		f.Close()
 		return
 	}
@@ -422,8 +548,57 @@ func (s *Store) saveDisk(key string, codec Codec, v any) {
 		return
 	}
 	if os.Rename(f.Name(), s.path(key, codec)) == nil {
-		s.noteDiskWrite(int64(header.Len()) + int64(len(payload)))
+		s.noteDiskWrite(int64(len(frame)))
 	}
+}
+
+// Encoded returns the framed encoding of the artifact under key — the
+// peer-serving read path. A finished memory-tier value is re-encoded
+// (and counts as a hit for LRU purposes); otherwise the disk tier's
+// file, which already is a frame, is returned after verification so a
+// locally-corrupted file is never propagated to a peer.
+func (s *Store) Encoded(key string, codec Codec) ([]byte, bool) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok && e.done && e.err == nil && e.kind == codec.Kind() {
+		v := e.v
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		frame, err := EncodeFrame(codec, v)
+		if err != nil {
+			return nil, false
+		}
+		return frame, true
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key, codec))
+	if err != nil {
+		return nil, false
+	}
+	if err := VerifyFrame(data, codec); err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Has reports whether Encoded would likely succeed, without reading
+// payload bytes — the peer HEAD have-check. It is advisory: a stat-able
+// file may still fail verification on the subsequent GET, which the
+// fetching store treats as a miss anyway.
+func (s *Store) Has(key string, codec Codec) bool {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok && e.done && e.err == nil && e.kind == codec.Kind() {
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return false
+	}
+	info, err := os.Stat(s.path(key, codec))
+	return err == nil && info.Mode().IsRegular()
 }
 
 // noteDiskWrite maintains the running disk-tier byte estimate and

@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -49,7 +50,7 @@ func TestMemoryTierHit(t *testing.T) {
 	runs := 0
 	compute := func() (any, error) { runs++; return 42, nil }
 	for i := 0; i < 3; i++ {
-		v, err := s.GetOrCompute("k1", c, compute)
+		v, err := s.GetOrCompute(context.Background(), "k1", c, compute)
 		if err != nil || v.(int) != 42 {
 			t.Fatalf("get %d: %v, %v", i, v, err)
 		}
@@ -67,11 +68,11 @@ func TestErrorsAreNotCached(t *testing.T) {
 	s := NewStore(Options{})
 	c := intCodec{kind: "stage", version: 1}
 	runs := 0
-	_, err := s.GetOrCompute("k", c, func() (any, error) { runs++; return nil, fmt.Errorf("boom") })
+	_, err := s.GetOrCompute(context.Background(), "k", c, func() (any, error) { runs++; return nil, fmt.Errorf("boom") })
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	v, err := s.GetOrCompute("k", c, func() (any, error) { runs++; return 7, nil })
+	v, err := s.GetOrCompute(context.Background(), "k", c, func() (any, error) { runs++; return 7, nil })
 	if err != nil || v.(int) != 7 {
 		t.Fatalf("retry after failure: %v, %v", v, err)
 	}
@@ -92,7 +93,7 @@ func TestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := s.GetOrCompute("shared", c, func() (any, error) {
+			v, err := s.GetOrCompute(context.Background(), "shared", c, func() (any, error) {
 				runs.Add(1)
 				<-gate
 				return 99, nil
@@ -129,7 +130,7 @@ func TestLRUEviction(t *testing.T) {
 	runs := 0
 	get := func(k string) {
 		t.Helper()
-		if _, err := s.GetOrCompute(k, c, func() (any, error) { runs++; return 1, nil }); err != nil {
+		if _, err := s.GetOrCompute(context.Background(), k, c, func() (any, error) { runs++; return 1, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,13 +153,13 @@ func TestDiskTierRoundTrip(t *testing.T) {
 	c := intCodec{kind: "stage", version: 1}
 
 	s1 := NewStore(Options{Dir: dir})
-	if _, err := s1.GetOrCompute("k", c, func() (any, error) { return 1234, nil }); err != nil {
+	if _, err := s1.GetOrCompute(context.Background(), "k", c, func() (any, error) { return 1234, nil }); err != nil {
 		t.Fatal(err)
 	}
 
 	// A fresh store over the same dir must answer from disk.
 	s2 := NewStore(Options{Dir: dir})
-	v, err := s2.GetOrCompute("k", c, func() (any, error) {
+	v, err := s2.GetOrCompute(context.Background(), "k", c, func() (any, error) {
 		return nil, fmt.Errorf("should not recompute")
 	})
 	if err != nil || v.(int) != 1234 {
@@ -174,7 +175,7 @@ func TestDiskCorruptionIsIgnored(t *testing.T) {
 	dir := t.TempDir()
 	c := intCodec{kind: "stage", version: 1}
 	s1 := NewStore(Options{Dir: dir})
-	if _, err := s1.GetOrCompute("k", c, func() (any, error) { return 5, nil }); err != nil {
+	if _, err := s1.GetOrCompute(context.Background(), "k", c, func() (any, error) { return 5, nil }); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.art"))
@@ -200,7 +201,7 @@ func TestDiskCorruptionIsIgnored(t *testing.T) {
 			defer os.WriteFile(files[0], orig, 0o644)
 
 			s2 := NewStore(Options{Dir: dir})
-			v, err := s2.GetOrCompute("k", c, func() (any, error) { return 5, nil })
+			v, err := s2.GetOrCompute(context.Background(), "k", c, func() (any, error) { return 5, nil })
 			if err != nil || v.(int) != 5 {
 				t.Fatalf("corrupted artifact was fatal: %v, %v", v, err)
 			}
@@ -214,14 +215,14 @@ func TestDiskCorruptionIsIgnored(t *testing.T) {
 func TestDiskVersionMismatchIsIgnored(t *testing.T) {
 	dir := t.TempDir()
 	s1 := NewStore(Options{Dir: dir})
-	if _, err := s1.GetOrCompute("k", intCodec{kind: "stage", version: 1}, func() (any, error) { return 5, nil }); err != nil {
+	if _, err := s1.GetOrCompute(context.Background(), "k", intCodec{kind: "stage", version: 1}, func() (any, error) { return 5, nil }); err != nil {
 		t.Fatal(err)
 	}
 
 	// Same kind and key, bumped codec version: old file must be ignored.
 	s2 := NewStore(Options{Dir: dir})
 	runs := 0
-	v, err := s2.GetOrCompute("k", intCodec{kind: "stage", version: 2}, func() (any, error) { runs++; return 6, nil })
+	v, err := s2.GetOrCompute(context.Background(), "k", intCodec{kind: "stage", version: 2}, func() (any, error) { runs++; return 6, nil })
 	if err != nil || v.(int) != 6 || runs != 1 {
 		t.Fatalf("version mismatch not recomputed: v=%v err=%v runs=%d", v, err, runs)
 	}
@@ -232,7 +233,7 @@ func TestDiskTierDisabled(t *testing.T) {
 	if s.DiskEnabled() {
 		t.Fatal("store without dir reports disk enabled")
 	}
-	if _, err := s.GetOrCompute("k", intCodec{kind: "s", version: 1}, func() (any, error) { return 1, nil }); err != nil {
+	if _, err := s.GetOrCompute(context.Background(), "k", intCodec{kind: "s", version: 1}, func() (any, error) { return 1, nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -244,7 +245,7 @@ func TestDiskGCBoundsTotalSize(t *testing.T) {
 	c := intCodec{kind: "stage", version: 1}
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%02d", i)
-		if _, err := s.GetOrCompute(key, c, func() (any, error) { return i, nil }); err != nil {
+		if _, err := s.GetOrCompute(context.Background(), key, c, func() (any, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(2 * time.Millisecond) // distinct mtimes so LRU order is unambiguous
@@ -269,7 +270,7 @@ func TestDiskGCBoundsTotalSize(t *testing.T) {
 	}
 	// The newest artifacts survive; a fresh store can still load one.
 	s2 := NewStore(Options{Dir: dir, MaxDiskBytes: 250})
-	if _, err := s2.GetOrCompute("k09", c, func() (any, error) {
+	if _, err := s2.GetOrCompute(context.Background(), "k09", c, func() (any, error) {
 		return nil, fmt.Errorf("newest artifact was evicted")
 	}); err != nil {
 		t.Fatal(err)
@@ -279,7 +280,7 @@ func TestDiskGCBoundsTotalSize(t *testing.T) {
 func TestUnwritableDirIsNotFatal(t *testing.T) {
 	// A bogus cache dir degrades to memory-only behaviour.
 	s := NewStore(Options{Dir: filepath.Join(string([]byte{0}), "nope")})
-	v, err := s.GetOrCompute("k", intCodec{kind: "s", version: 1}, func() (any, error) { return 3, nil })
+	v, err := s.GetOrCompute(context.Background(), "k", intCodec{kind: "s", version: 1}, func() (any, error) { return 3, nil })
 	if err != nil || v.(int) != 3 {
 		t.Fatalf("unwritable dir was fatal: %v, %v", v, err)
 	}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cuisines/internal/artifact"
+)
+
+// ArtifactPathPrefix is the peer wire route for artifact frames:
+// GET  {prefix}{kind}/{key} returns the framed encoding (200) or 404;
+// HEAD {prefix}{kind}/{key} is the cheap have-check.
+// The kind segment selects the codec server-side, so the serving node
+// frames (and the fetching node verifies) with the same codec the disk
+// tier uses — a peer response and a disk file are interchangeable.
+const ArtifactPathPrefix = "/internal/v1/artifact/"
+
+// DefaultFetchTimeout caps one peer artifact fetch. Generous relative
+// to the probe timeout: a warm peer streams even the tens-of-MB matrix
+// artifacts well inside it, while recomputing them costs far more.
+const DefaultFetchTimeout = 30 * time.Second
+
+// DefaultMaxFrameBytes caps a peer response read. The largest real
+// artifacts (full-scale pdist matrices) are tens of MB; 256 MiB keeps
+// headroom without letting a broken peer stream unbounded garbage.
+const DefaultMaxFrameBytes = 256 << 20
+
+// Metrics is a snapshot of the exchange counters, rendered on /metrics
+// and inside /v1/cluster.
+type Metrics struct {
+	// Fetch side (this node asking peers).
+	FetchAttempts uint64 `json:"fetch_attempts"` // peer GETs issued
+	FetchHits     uint64 `json:"fetch_hits"`     // verified frames received
+	FetchMisses   uint64 `json:"fetch_misses"`   // peer answered 404
+	FetchErrors   uint64 `json:"fetch_errors"`   // transport/status errors
+	FetchRejects  uint64 `json:"fetch_rejects"`  // responses failing frame verification
+	// Serve side (peers asking this node).
+	ServeHits   uint64 `json:"serve_hits"`
+	ServeMisses uint64 `json:"serve_misses"`
+}
+
+// exchange implements both halves of the peer artifact protocol.
+type exchange struct {
+	self    string
+	client  *http.Client
+	store   *artifact.Store
+	codecs  map[string]artifact.Codec
+	ring    *Ring
+	health  *health
+	maxSize int64
+
+	fetchAttempts atomic.Uint64
+	fetchHits     atomic.Uint64
+	fetchMisses   atomic.Uint64
+	fetchErrors   atomic.Uint64
+	fetchRejects  atomic.Uint64
+	serveHits     atomic.Uint64
+	serveMisses   atomic.Uint64
+}
+
+func (e *exchange) metrics() Metrics {
+	return Metrics{
+		FetchAttempts: e.fetchAttempts.Load(),
+		FetchHits:     e.fetchHits.Load(),
+		FetchMisses:   e.fetchMisses.Load(),
+		FetchErrors:   e.fetchErrors.Load(),
+		FetchRejects:  e.fetchRejects.Load(),
+		ServeHits:     e.serveHits.Load(),
+		ServeMisses:   e.serveMisses.Load(),
+	}
+}
+
+// candidates orders the peers to ask for key: the key's ring owners
+// first (most likely to hold it — they are where routing concentrates
+// its computes), then every other healthy peer. Stage artifact keys
+// hash independently of the analysis routing key, so the owner guess
+// is a prior, not a guarantee; the full healthy set is the fallback
+// that makes cluster-warm serving work from any node. Self is never a
+// candidate.
+func (e *exchange) candidates(key string) []string {
+	owners := e.ring.Owners(key, e.aliveOrSelf)
+	out := make([]string, 0, len(e.ring.members))
+	seen := map[string]bool{e.self: true}
+	for _, m := range owners {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	for _, m := range e.ring.members {
+		if !seen[m] && e.health.alive(m) {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// aliveOrSelf is the ring liveness predicate: peers by health verdict,
+// self always.
+func (e *exchange) aliveOrSelf(member string) bool {
+	return member == e.self || e.health.alive(member)
+}
+
+// fetch is the artifact.Fetcher installed on the store: on a local
+// miss it asks candidate peers in order for the framed artifact and
+// returns the first response that exists. The store re-verifies and
+// decodes the frame itself, so a corrupt response here can at worst
+// waste one candidate slot — never poison the cache; fetch still
+// pre-verifies so a bad frame from one peer does not stop it from
+// trying the next.
+func (e *exchange) fetch(ctx context.Context, key string, codec artifact.Codec) ([]byte, bool) {
+	for _, peer := range e.candidates(key) {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		frame, ok := e.fetchFrom(ctx, peer, key, codec)
+		if ok {
+			return frame, true
+		}
+	}
+	return nil, false
+}
+
+func (e *exchange) fetchFrom(ctx context.Context, peer, key string, codec artifact.Codec) ([]byte, bool) {
+	e.fetchAttempts.Add(1)
+	url := peer + ArtifactPathPrefix + codec.Kind() + "/" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		e.fetchErrors.Add(1)
+		return nil, false
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		e.fetchErrors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		e.fetchMisses.Add(1)
+		return nil, false
+	default:
+		e.fetchErrors.Add(1)
+		return nil, false
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, e.maxSize+1))
+	if err != nil || int64(len(frame)) > e.maxSize {
+		e.fetchErrors.Add(1)
+		return nil, false
+	}
+	if err := artifact.VerifyFrame(frame, codec); err != nil {
+		e.fetchRejects.Add(1)
+		return nil, false
+	}
+	e.fetchHits.Add(1)
+	return frame, true
+}
+
+// serveArtifact answers GET/HEAD {ArtifactPathPrefix}{kind}/{key} from
+// the local store only — it never computes and never asks other peers,
+// which is what makes the peer protocol loop-free by construction.
+func (e *exchange) serveArtifact(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	key := r.PathValue("key")
+	codec, ok := e.codecs[kind]
+	if !ok || key == "" {
+		e.serveMisses.Add(1)
+		http.Error(w, "unknown artifact kind", http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodHead {
+		if e.store.Has(key, codec) {
+			e.serveHits.Add(1)
+			w.WriteHeader(http.StatusOK)
+		} else {
+			e.serveMisses.Add(1)
+			w.WriteHeader(http.StatusNotFound)
+		}
+		return
+	}
+	frame, ok := e.store.Encoded(key, codec)
+	if !ok {
+		e.serveMisses.Add(1)
+		http.Error(w, "artifact not held", http.StatusNotFound)
+		return
+	}
+	e.serveHits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Defaults for the health sweep. One probe per peer per interval while
+// healthy; failing peers back off exponentially (in ticks) so a long
+// outage costs one probe per ~16s, not a connect timeout per second.
+const (
+	DefaultProbeInterval = 1 * time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	maxBackoffTicks      = 16
+)
+
+// PingPath is the liveness endpoint every cuisined exposes for its
+// peers; the health checker probes it and the server answers 204.
+const PingPath = "/internal/v1/ping"
+
+// PeerStatus is one peer's view in a health snapshot (and the wire
+// shape inside /v1/cluster).
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Failures is the current consecutive-failure count; 0 when healthy.
+	Failures int `json:"failures,omitempty"`
+	// LastErr is the most recent probe error; empty when healthy.
+	LastErr string `json:"last_err,omitempty"`
+	// LastProbe is the wall time of the last completed probe, RFC3339;
+	// empty before the first probe.
+	LastProbe string `json:"last_probe,omitempty"`
+}
+
+// health tracks peer liveness over a static peer list. All time flows
+// through the injected clock (the lint wallclock contract): production
+// passes time.Now from cmd/cuisined, tests pass a fake and drive ticks
+// by hand via CheckNow/tick.
+type health struct {
+	peers  []string
+	client *http.Client
+	now    func() time.Time
+
+	mu    sync.Mutex
+	state map[string]*peerState
+}
+
+type peerState struct {
+	healthy   bool
+	failures  int // consecutive failures
+	skip      int // remaining ticks to skip (backoff)
+	lastErr   string
+	lastProbe time.Time
+	probed    bool
+}
+
+func newHealth(peers []string, timeout time.Duration, now func() time.Time) *health {
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	h := &health{
+		peers:  peers,
+		client: &http.Client{Timeout: timeout},
+		now:    now,
+		state:  make(map[string]*peerState, len(peers)),
+	}
+	for _, p := range peers {
+		// Optimistic start: a peer is assumed healthy until a probe says
+		// otherwise, so a fleet booted together routes normally from the
+		// first request instead of waiting out one sweep interval.
+		h.state[p] = &peerState{healthy: true}
+	}
+	return h
+}
+
+// alive reports the current verdict for one peer. Unknown peers are
+// dead: routing must never target something the checker does not track.
+func (h *health) alive(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[peer]
+	return ok && st.healthy
+}
+
+// snapshot returns every peer's status, sorted by the peers slice
+// order (stable for /v1/cluster output).
+func (h *health) snapshot() []PeerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PeerStatus, 0, len(h.peers))
+	for _, p := range h.peers {
+		st := h.state[p]
+		ps := PeerStatus{URL: p, Healthy: st.healthy, Failures: st.failures, LastErr: st.lastErr}
+		if st.probed {
+			ps.LastProbe = st.lastProbe.UTC().Format(time.RFC3339)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// tick runs one sweep: probe every peer whose backoff is not holding
+// it out, updating state. force ignores backoff (CheckNow, tests).
+func (h *health) tick(ctx context.Context, force bool) {
+	for _, p := range h.peers {
+		h.mu.Lock()
+		st := h.state[p]
+		if !force && st.skip > 0 {
+			st.skip--
+			h.mu.Unlock()
+			continue
+		}
+		h.mu.Unlock()
+
+		err := h.probe(ctx, p)
+
+		h.mu.Lock()
+		st.probed = true
+		st.lastProbe = h.now()
+		if err == nil {
+			st.healthy = true
+			st.failures = 0
+			st.skip = 0
+			st.lastErr = ""
+		} else {
+			st.healthy = false
+			st.failures++
+			st.lastErr = err.Error()
+			// Backoff in ticks: 1, 2, 4, ... capped. Counting ticks
+			// instead of deadlines keeps the logic clock-free.
+			backoff := 1 << (st.failures - 1)
+			if st.failures > 4 || backoff > maxBackoffTicks {
+				backoff = maxBackoffTicks
+			}
+			st.skip = backoff - 1
+		}
+		h.mu.Unlock()
+	}
+}
+
+// probe issues one liveness check against a peer.
+func (h *health) probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+PingPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ping %s%s: status %d", peer, PingPath, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock satisfies the injected-clock contract: health timestamps
+// in tests come from here, never the wall clock.
+func fakeClock() func() time.Time {
+	t0 := time.Date(2020, 4, 20, 12, 0, 0, 0, time.UTC)
+	var ticks atomic.Int64
+	return func() time.Time {
+		return t0.Add(time.Duration(ticks.Add(1)) * time.Second)
+	}
+}
+
+// flakyPeer is an httptest peer whose ping flips between 204 and 500,
+// counting every probe it receives.
+type flakyPeer struct {
+	srv    *httptest.Server
+	fail   atomic.Bool
+	probes atomic.Int64
+}
+
+func newFlakyPeer(t *testing.T) *flakyPeer {
+	t.Helper()
+	p := &flakyPeer{}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != PingPath {
+			http.NotFound(w, r)
+			return
+		}
+		p.probes.Add(1)
+		if p.fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// TestHealthOptimisticStart: before any probe, every peer is assumed
+// healthy so a fleet booted together routes normally from the first
+// request.
+func TestHealthOptimisticStart(t *testing.T) {
+	h := newHealth([]string{"http://127.0.0.1:1"}, time.Second, fakeClock())
+	if !h.alive("http://127.0.0.1:1") {
+		t.Fatal("peer not optimistically healthy before first probe")
+	}
+	if h.alive("http://unknown:1") {
+		t.Fatal("untracked peer reported alive")
+	}
+	snap := h.snapshot()
+	if len(snap) != 1 || !snap[0].Healthy || snap[0].LastProbe != "" {
+		t.Fatalf("snapshot before probes: %+v", snap)
+	}
+}
+
+// TestHealthProbeCycle: a peer goes unhealthy on failure, backs off
+// exponentially in ticks, and recovers (with counters reset) on the
+// first success.
+func TestHealthProbeCycle(t *testing.T) {
+	peer := newFlakyPeer(t)
+	h := newHealth([]string{peer.srv.URL}, time.Second, fakeClock())
+	ctx := context.Background()
+
+	h.tick(ctx, false)
+	if !h.alive(peer.srv.URL) {
+		t.Fatal("healthy peer marked dead")
+	}
+
+	peer.fail.Store(true)
+	h.tick(ctx, false) // probe: fail #1, backoff 1 tick -> no skip
+	if h.alive(peer.srv.URL) {
+		t.Fatal("failing peer still alive after probe")
+	}
+	snap := h.snapshot()
+	if snap[0].Failures != 1 || snap[0].LastErr == "" || snap[0].LastProbe == "" {
+		t.Fatalf("snapshot after first failure: %+v", snap[0])
+	}
+
+	// Backoff schedule in ticks: probe on the next sweep after failure
+	// #1 (backoff 1), then skip 1 sweep after #2, skip 3 after #3, skip
+	// 7 after #4, then the cap (16) holds. Over the next 13 sweeps the
+	// peer is probed on sweeps 1, 3 and 7 only.
+	before := peer.probes.Load()
+	for i := 0; i < 13; i++ {
+		h.tick(ctx, false)
+	}
+	if got := peer.probes.Load() - before; got != 3 {
+		t.Fatalf("13 backoff sweeps probed %d times, want 3 (sweeps 1,3,7)", got)
+	}
+
+	// force (CheckNow) ignores backoff entirely.
+	before = peer.probes.Load()
+	h.tick(ctx, true)
+	if got := peer.probes.Load() - before; got != 1 {
+		t.Fatalf("forced sweep probed %d times, want 1", got)
+	}
+
+	// Recovery resets everything on the first success.
+	peer.fail.Store(false)
+	h.tick(ctx, true)
+	if !h.alive(peer.srv.URL) {
+		t.Fatal("recovered peer still dead")
+	}
+	snap = h.snapshot()
+	if snap[0].Failures != 0 || snap[0].LastErr != "" {
+		t.Fatalf("recovery did not reset state: %+v", snap[0])
+	}
+}
+
+// TestHealthDownPeer: a connection-refused peer is marked dead without
+// hanging the sweep.
+func TestHealthDownPeer(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	h := newHealth([]string{url}, 250*time.Millisecond, fakeClock())
+	h.tick(context.Background(), true)
+	if h.alive(url) {
+		t.Fatal("closed peer reported alive")
+	}
+}

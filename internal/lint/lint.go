@@ -87,12 +87,28 @@ func normPkgPath(path string) (base string, externalTest bool) {
 	return path, false
 }
 
+// clusterPkgs extends the wallclock/nakedgo scope (not the full
+// determinism contract) to the cluster layer: internal/cluster makes
+// routing and fetch decisions that must be reproducible in tests, so
+// its clocks are injected (wallclock) and its only concurrency is the
+// daemon-run health loop (nakedgo). mapiter/canonfields/codecver stay
+// out — the package neither renders maps into output nor owns codecs.
+var clusterPkgs = map[string]bool{
+	"cuisines/internal/cluster": true,
+}
+
 // inScope reports whether the pass's package is under the determinism
 // contract. External _test packages are not: they consume output, they
 // do not produce artifact bytes.
 func inScope(pass *analysis.Pass) bool {
+	return inScopeFor(pass, nil)
+}
+
+// inScopeFor is inScope with a per-analyzer extra scope: a package in
+// extra is checked even though it is outside the determinism contract.
+func inScopeFor(pass *analysis.Pass, extra map[string]bool) bool {
 	base, ext := normPkgPath(pass.Pkg.Path())
-	return !ext && deterministicPkgs[base]
+	return !ext && (deterministicPkgs[base] || extra[base])
 }
 
 // isTestFile reports whether the node's file is a _test.go file.

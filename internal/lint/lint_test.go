@@ -49,8 +49,21 @@ func TestWallClockOutOfScope(t *testing.T) {
 	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/server")
 }
 
+// TestWallClockCluster pins the extra cluster scope: internal/cluster
+// is outside the full determinism contract but wallclock still covers
+// it (injected clocks only; tickers stay allowed).
+func TestWallClockCluster(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/cluster")
+}
+
 func TestNakedGo(t *testing.T) {
 	linttest.Run(t, "testdata/nakedgo", lint.NakedGo, "cuisines/internal/hac")
+}
+
+// TestNakedGoCluster pins the extra cluster scope for nakedgo: the
+// cluster layer must expose blocking calls only.
+func TestNakedGoCluster(t *testing.T) {
+	linttest.Run(t, "testdata/nakedgo", lint.NakedGo, "cuisines/internal/cluster")
 }
 
 func TestCanonFieldsOptions(t *testing.T) {

@@ -14,6 +14,9 @@ import (
 // stay outside the cache key. A naked goroutine reintroduces
 // scheduling order as an observable — completion order, interleaved
 // writes — precisely what the byte-identity equivalence tests forbid.
+// internal/cluster is additionally in scope (clusterPkgs): the package
+// exposes only blocking calls (the daemon spawns the health loop), so
+// its fetch/route logic stays deterministically testable.
 var NakedGo = &analysis.Analyzer{
 	Name:     "nakedgo",
 	Doc:      "forbid go statements in deterministic packages; use internal/parallel",
@@ -22,7 +25,7 @@ var NakedGo = &analysis.Analyzer{
 }
 
 func runNakedGo(pass *analysis.Pass) (any, error) {
-	if !inScope(pass) {
+	if !inScopeFor(pass, clusterPkgs) {
 		return nil, nil
 	}
 	sup := newSuppressor(pass, "nakedgo")

@@ -1,0 +1,16 @@
+// Fixture for the nakedgo analyzer's extra cluster scope: the cluster
+// layer exposes blocking calls only; the daemon owns the goroutine.
+package cluster
+
+import "context"
+
+type node struct{}
+
+func (n *node) run(ctx context.Context) { <-ctx.Done() }
+
+func startBad(n *node, ctx context.Context) {
+	go n.run(ctx) // want `naked go statement`
+}
+
+// runOK: handing the blocking call to the caller is the approved shape.
+func runOK(n *node, ctx context.Context) { n.run(ctx) }

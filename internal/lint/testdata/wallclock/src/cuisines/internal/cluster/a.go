@@ -1,0 +1,20 @@
+// Fixture for the wallclock analyzer's extra cluster scope: the
+// package is outside the full determinism contract but health-check
+// timestamps must still come from an injected clock.
+package cluster
+
+import "time"
+
+type health struct {
+	now func() time.Time
+}
+
+func (h *health) stampBad() time.Time { return time.Now() } // want `time.Now reads the wall clock`
+
+func (h *health) stampOK() time.Time { return h.now() }
+
+// tickerOK: timers and tickers schedule work; they are not wall-clock
+// reads and stay allowed (the health loop uses one).
+func tickerOK() *time.Ticker { return time.NewTicker(time.Second) }
+
+func backoffBad(last time.Time) time.Duration { return time.Since(last) } // want `time.Since reads the wall clock`

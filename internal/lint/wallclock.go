@@ -18,7 +18,10 @@ import (
 //
 // The allowlist is structural: cmd/, internal/server (access logs,
 // latency), internal/artifact (mtime GC) and _test.go files are
-// outside the deterministic scope entirely.
+// outside the deterministic scope entirely. internal/cluster is
+// additionally in scope (clusterPkgs): health-check and routing
+// decisions must be reproducible in tests, so its clock is injected
+// (Config.Now) rather than read ambiently.
 var WallClock = &analysis.Analyzer{
 	Name:     "wallclock",
 	Doc:      "forbid time.Now and math/rand in deterministic packages",
@@ -32,7 +35,7 @@ var WallClock = &analysis.Analyzer{
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runWallClock(pass *analysis.Pass) (any, error) {
-	if !inScope(pass) {
+	if !inScopeFor(pass, clusterPkgs) {
 		return nil, nil
 	}
 	sup := newSuppressor(pass, "wallclock")

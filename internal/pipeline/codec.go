@@ -92,7 +92,7 @@ func stage[T any](ctx context.Context, s *artifact.Store, key string, codec arti
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
-	v, err := s.GetOrCompute(key, codec, func() (any, error) { return compute() })
+	v, err := s.GetOrCompute(ctx, key, codec, func() (any, error) { return compute() })
 	if err != nil {
 		return zero, err
 	}
@@ -105,11 +105,23 @@ func stage[T any](ctx context.Context, s *artifact.Store, key string, codec arti
 // will be ignored and recomputed, never misread).
 func CodecVersions() map[string]int {
 	out := make(map[string]int)
+	for k, c := range Codecs() {
+		out[k] = c.Version()
+	}
+	return out
+}
+
+// Codecs returns the current stage codecs by kind. The cluster layer
+// uses it to frame and verify artifacts on the peer wire — the same
+// codecs the disk tier uses, so a peer's bytes and a disk file are
+// interchangeable.
+func Codecs() map[string]artifact.Codec {
+	out := make(map[string]artifact.Codec)
 	for _, c := range []artifact.Codec{
 		corpusCodec, mineCodec, matricesCodec, authCodec,
 		pdistCodec, geodistCodec, treeCodec, elbowCodec, validateCodec,
 	} {
-		out[c.Kind()] = c.Version()
+		out[c.Kind()] = c
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -128,7 +129,7 @@ func TestFlatCorruptDiskArtifactRecomputes(t *testing.T) {
 	s := artifact.NewStore(artifact.Options{Dir: dir})
 	computes := 0
 	compute := func() (any, error) { computes++; return mined, nil }
-	if _, err := s.GetOrCompute(key, mineCodec, compute); err != nil {
+	if _, err := s.GetOrCompute(context.Background(), key, mineCodec, compute); err != nil {
 		t.Fatal(err)
 	}
 	if computes != 1 {
@@ -150,7 +151,7 @@ func TestFlatCorruptDiskArtifactRecomputes(t *testing.T) {
 	}
 
 	s2 := artifact.NewStore(artifact.Options{Dir: dir})
-	v, err := s2.GetOrCompute(key, mineCodec, compute)
+	v, err := s2.GetOrCompute(context.Background(), key, mineCodec, compute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +178,14 @@ func TestFlatVersionBumpWarmRestart(t *testing.T) {
 	// The "old binary": same kind, previous version, gob encoding.
 	old := gobCodec[[]core.RegionPatterns]{kind: "mine", version: mineCodec.version - 1}
 	s := artifact.NewStore(artifact.Options{Dir: dir})
-	if _, err := s.GetOrCompute(key, old, func() (any, error) { return mined, nil }); err != nil {
+	if _, err := s.GetOrCompute(context.Background(), key, old, func() (any, error) { return mined, nil }); err != nil {
 		t.Fatal(err)
 	}
 
 	// The "new binary" restarts over the same directory.
 	computes := 0
 	s2 := artifact.NewStore(artifact.Options{Dir: dir})
-	v, err := s2.GetOrCompute(key, mineCodec, func() (any, error) { computes++; return mined, nil })
+	v, err := s2.GetOrCompute(context.Background(), key, mineCodec, func() (any, error) { computes++; return mined, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestFlatVersionBumpWarmRestart(t *testing.T) {
 
 	// Second restart: the new-version file written above must now hit.
 	s3 := artifact.NewStore(artifact.Options{Dir: dir})
-	v, err = s3.GetOrCompute(key, mineCodec, func() (any, error) { computes++; return mined, nil })
+	v, err = s3.GetOrCompute(context.Background(), key, mineCodec, func() (any, error) { computes++; return mined, nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"cuisines"
+)
+
+// HopHeader marks a request that has already made its one proxy hop:
+// a node receiving it always serves locally, so misrouted requests
+// (stale health views on two nodes) degrade to one extra hop, never a
+// proxy loop. Clients may set it themselves to pin local serving —
+// the loadgen -local flag and the cluster tests do, to exercise the
+// peer artifact exchange rather than request routing.
+const HopHeader = "X-Cuisined-Hop"
+
+// RoutingKey derives the cluster routing key for opts: the canonical
+// options with the output-neutral knobs zeroed (same equivalence class
+// as the analysis cache key), rendered to a stable string for the
+// ring. Requests differing only in workers or mining backend land on
+// the same owner and share its warm analysis.
+func RoutingKey(opts cuisines.Options) (string, error) {
+	key, err := Key(opts)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("analysis|%+v", key), nil
+}
+
+// proxyStats counts request routing outcomes (the exchange-level
+// counters live on the cluster node itself).
+type proxyStats struct {
+	proxied   atomic.Uint64 // requests forwarded to a ring owner
+	fallbacks atomic.Uint64 // forwards that failed transport-level and ran locally
+}
+
+// maybeProxy applies consistent-hash routing: when the request's
+// analysis key is owned by another live node (and the request has not
+// already hopped), it is forwarded there and the response relayed
+// back. A false return means the caller should serve locally — either
+// this node owns the key, the fleet is down (degrade to local
+// compute), or the owner died mid-request (transport failure; the
+// response is untouched, so local serving still works).
+func (s *Server) maybeProxy(w http.ResponseWriter, r *http.Request, opts cuisines.Options) bool {
+	if s.cluster == nil || r.Header.Get(HopHeader) != "" {
+		return false
+	}
+	key, err := RoutingKey(opts)
+	if err != nil {
+		return false // requestOptions already validated; be safe anyway
+	}
+	owner, local := s.cluster.Route(key)
+	if local {
+		return false
+	}
+	if !s.forward(w, r, owner) {
+		s.proxy.fallbacks.Add(1)
+		return false
+	}
+	s.proxy.proxied.Add(1)
+	return true
+}
+
+// forward relays the request to owner with the hop header set. It
+// writes nothing until the owner's response header arrives, so a
+// transport failure leaves the ResponseWriter clean for the local
+// fallback. Whatever the owner answered — including 4xx/5xx — is
+// relayed verbatim: the owner ran the authoritative compute, and a
+// local retry would at best duplicate its work.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(HopHeader, "1")
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// handlePing answers the peer liveness probe. Registered even without
+// a cluster: a lone node probed by a misconfigured fleet should look
+// alive, not 404.
+func (s *Server) handlePing(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCluster reports this node's cluster view (/v1/cluster).
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, cuisines.ClusterResponse{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.clusterResponse())
+}
+
+func (s *Server) clusterResponse() cuisines.ClusterResponse {
+	n := s.cluster
+	m := n.Metrics()
+	resp := cuisines.ClusterResponse{
+		Enabled:  true,
+		Self:     n.Self(),
+		Members:  n.Ring().Members(),
+		Replicas: n.Ring().Replicas(),
+		Exchange: cuisines.ClusterExchangeStats{
+			FetchAttempts: m.FetchAttempts,
+			FetchHits:     m.FetchHits,
+			FetchMisses:   m.FetchMisses,
+			FetchErrors:   m.FetchErrors,
+			FetchRejects:  m.FetchRejects,
+			ServeHits:     m.ServeHits,
+			ServeMisses:   m.ServeMisses,
+		},
+		Proxied:        s.proxy.proxied.Load(),
+		ProxyFallbacks: s.proxy.fallbacks.Load(),
+	}
+	for _, p := range n.Peers() {
+		resp.Peers = append(resp.Peers, cuisines.ClusterPeer{
+			URL:       p.URL,
+			Healthy:   p.Healthy,
+			Failures:  p.Failures,
+			LastErr:   p.LastErr,
+			LastProbe: p.LastProbe,
+		})
+	}
+	return resp
+}
+
+// renderClusterMetrics appends the cluster series to /metrics: the
+// exchange counters and one health gauge per peer.
+func (s *Server) renderClusterMetrics(w io.Writer) {
+	if s.cluster == nil {
+		return
+	}
+	m := s.cluster.Metrics()
+	fmt.Fprintf(w, "# HELP cuisined_peer_fetch_total Peer artifact fetches issued by this node, by result.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_peer_fetch_total counter\n")
+	fmt.Fprintf(w, "cuisined_peer_fetch_total{result=\"hit\"} %d\n", m.FetchHits)
+	fmt.Fprintf(w, "cuisined_peer_fetch_total{result=\"miss\"} %d\n", m.FetchMisses)
+	fmt.Fprintf(w, "cuisined_peer_fetch_total{result=\"error\"} %d\n", m.FetchErrors)
+	fmt.Fprintf(w, "cuisined_peer_fetch_total{result=\"reject\"} %d\n", m.FetchRejects)
+	fmt.Fprintf(w, "# HELP cuisined_peer_serve_total Peer artifact requests answered by this node, by result.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_peer_serve_total counter\n")
+	fmt.Fprintf(w, "cuisined_peer_serve_total{result=\"hit\"} %d\n", m.ServeHits)
+	fmt.Fprintf(w, "cuisined_peer_serve_total{result=\"miss\"} %d\n", m.ServeMisses)
+	fmt.Fprintf(w, "# HELP cuisined_proxied_requests_total Requests forwarded to their ring owner.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_proxied_requests_total counter\n")
+	fmt.Fprintf(w, "cuisined_proxied_requests_total %d\n", s.proxy.proxied.Load())
+	fmt.Fprintf(w, "# HELP cuisined_proxy_fallbacks_total Forwards that failed transport-level and were served locally.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_proxy_fallbacks_total counter\n")
+	fmt.Fprintf(w, "cuisined_proxy_fallbacks_total %d\n", s.proxy.fallbacks.Load())
+	fmt.Fprintf(w, "# HELP cuisined_peer_healthy Peer liveness as seen by this node's health checker.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_peer_healthy gauge\n")
+	for _, p := range s.cluster.Peers() {
+		v := 0
+		if p.Healthy {
+			v = 1
+		}
+		fmt.Fprintf(w, "cuisined_peer_healthy{peer=%q} %d\n", p.URL, v)
+	}
+}

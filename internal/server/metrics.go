@@ -182,6 +182,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			st := stages[kind]
 			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"hit\"} %d\n", kind, st.Hits)
 			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"disk_hit\"} %d\n", kind, st.DiskHits)
+			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"peer_hit\"} %d\n", kind, st.PeerHits)
 			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"computed\"} %d\n", kind, st.Computed)
 			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"eviction\"} %d\n", kind, st.Evictions)
 			fmt.Fprintf(w, "cuisined_stage_cache_events_total{stage=%q,event=\"inflight_join\"} %d\n", kind, st.InFlightJoins)
@@ -206,4 +207,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE cuisined_admission_rejected_total counter\n")
 		fmt.Fprintf(w, "cuisined_admission_rejected_total %d\n", gs.Rejected)
 	}
+
+	s.renderClusterMetrics(w)
 }

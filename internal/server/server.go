@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cuisines"
+	"cuisines/internal/cluster"
 )
 
 // Config configures a Server.
@@ -51,6 +52,12 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured (JSON) line per
 	// completed request. Nil disables access logging.
 	AccessLog *log.Logger
+	// Cluster, when non-nil, makes this server a cluster member: /v1
+	// requests whose analysis key is owned by another live node are
+	// proxied there (single-hop, see HopHeader), the peer artifact
+	// routes are registered, and /v1/cluster and /metrics report the
+	// fleet view. Nil serves single-node.
+	Cluster *cluster.Node
 }
 
 // DefaultMaxQueuedRuns is the admission queue depth when the caller
@@ -75,6 +82,10 @@ type Server struct {
 	retryAfter time.Duration
 	accessLog  *log.Logger
 	mux        *http.ServeMux
+
+	cluster     *cluster.Node // nil when single-node
+	proxy       proxyStats
+	proxyClient *http.Client
 }
 
 // New builds a Server with its routes registered.
@@ -120,10 +131,19 @@ func New(cfg Config) *Server {
 		timeout:    cfg.RequestTimeout,
 		retryAfter: retryAfter,
 		accessLog:  cfg.AccessLog,
+		cluster:    cfg.Cluster,
+		// Forwarded requests carry the original request's context (and
+		// with it the per-request timeout); no extra client timeout.
+		proxyClient: &http.Client{},
 	}
 	mux := http.NewServeMux()
 	s.route(mux, "GET /healthz", s.handleHealth)
 	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /internal/v1/ping", s.handlePing)
+	if s.cluster != nil {
+		s.route(mux, "GET /internal/v1/artifact/{kind}/{key}", s.cluster.ServeArtifact)
+	}
+	s.route(mux, "GET /v1/cluster", s.handleCluster)
 	s.route(mux, "GET /v1/cachestats", s.handleCacheStats)
 	s.route(mux, "GET /v1/table", s.with(s.handleTable))
 	s.route(mux, "GET /v1/dendrogram/{figure}", s.withFigure(s.handleDendrogram))
@@ -306,6 +326,9 @@ func (s *Server) with(h analysisHandler) http.HandlerFunc {
 		opts, _, err := s.requestOptions(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if s.maybeProxy(w, r, opts) {
 			return
 		}
 		a, err := s.cache.Get(r.Context(), opts)
@@ -598,6 +621,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	opts, canon, err := s.requestOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.maybeProxy(w, r, opts) {
 		return
 	}
 	a, err := s.cache.Get(r.Context(), opts)
