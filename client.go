@@ -1,6 +1,7 @@
 package cuisines
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"sync"
 
 	"cuisines/internal/recipedb"
 )
@@ -141,14 +144,34 @@ type AnalysisCacheStats struct {
 	InFlightJoins uint64 `json:"inflight_joins"`
 }
 
+// RenderCacheStats counts the daemon's rendered-response cache traffic
+// (DESIGN.md §14): entries are fully-rendered response bodies keyed by
+// (analysis key, endpoint, canonical query), so a hit skips the derive
+// and marshal work entirely. NotModified counts conditional requests
+// answered 304; GzipVariants counts compressed variants built (at most
+// once per entry).
+type RenderCacheStats struct {
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	InFlightJoins uint64 `json:"inflight_joins"`
+	GzipVariants  uint64 `json:"gzip_variants"`
+	NotModified   uint64 `json:"not_modified"`
+}
+
 // CacheStatsResponse is the /v1/cachestats body: the analysis cache
 // counters plus the per-stage artifact store counters, keyed by stage
 // kind ("corpus", "mine", "matrices", "auth", "pdist", "geodist",
-// "tree", "elbow", "validate"). Stages is empty when the daemon runs
-// with a custom pipeline entry point that bypasses the stage graph.
+// "tree", "elbow", "validate"), plus the rendered-response cache
+// counters. Stages is empty when the daemon runs with a custom
+// pipeline entry point that bypasses the stage graph.
 type CacheStatsResponse struct {
 	Analyses AnalysisCacheStats         `json:"analyses"`
 	Stages   map[string]StageCacheStats `json:"stages"`
+	Renders  RenderCacheStats           `json:"renders"`
 }
 
 // ClusterPeer is one peer's liveness as seen by the answering node's
@@ -214,6 +237,58 @@ type Client struct {
 	// fields fall back to the daemon's own defaults; Workers is a
 	// daemon-side concern and is never transmitted.
 	Options Options
+	// Revalidate enables the client-side validator cache: successful
+	// response bodies are remembered with their ETag, subsequent
+	// requests for the same URL carry If-None-Match, and a 304 answer
+	// is satisfied from the remembered body without re-transfer. The
+	// cache is small (revalMaxEntries) and per-Client. Off by default:
+	// callers that never repeat a URL would only pay the memory.
+	Revalidate bool
+
+	revalMu    sync.Mutex
+	reval      map[string]revalEntry
+	revalOrder []string // FIFO over cache keys; bounds the map
+}
+
+// revalEntry is one remembered response for conditional revalidation.
+type revalEntry struct {
+	etag string
+	body []byte
+}
+
+// revalMaxEntries bounds the Revalidate cache. FIFO, not LRU: the cache
+// exists to turn repeat fetches into 304s, and 128 distinct URLs covers
+// every endpoint × figure × region combination a polling client cycles
+// through.
+const revalMaxEntries = 128
+
+// revalGet returns the remembered validator and body for url, if any.
+func (c *Client) revalGet(url string) (etag string, body []byte) {
+	c.revalMu.Lock()
+	defer c.revalMu.Unlock()
+	e, ok := c.reval[url]
+	if !ok {
+		return "", nil
+	}
+	return e.etag, e.body
+}
+
+// revalPut remembers url's body under its validator, evicting the
+// oldest entry once full.
+func (c *Client) revalPut(url, etag string, body []byte) {
+	c.revalMu.Lock()
+	defer c.revalMu.Unlock()
+	if c.reval == nil {
+		c.reval = make(map[string]revalEntry)
+	}
+	if _, exists := c.reval[url]; !exists {
+		c.revalOrder = append(c.revalOrder, url)
+		for len(c.revalOrder) > revalMaxEntries {
+			delete(c.reval, c.revalOrder[0])
+			c.revalOrder = c.revalOrder[1:]
+		}
+	}
+	c.reval[url] = revalEntry{etag: etag, body: body}
 }
 
 // NewClient returns a Client for the daemon at baseURL.
@@ -326,6 +401,17 @@ func (c *Client) getFrom(ctx context.Context, base, path string, extra url.Value
 	if err != nil {
 		return err
 	}
+	// Negotiate gzip explicitly (rather than via the transport's
+	// transparent mode) so the size cap below provably applies to the
+	// decompressed bytes, whichever http.Client the caller supplied.
+	req.Header.Set("Accept-Encoding", "gzip")
+	var cachedETag string
+	var cachedBody []byte
+	if c.Revalidate {
+		if cachedETag, cachedBody = c.revalGet(u); cachedETag != "" {
+			req.Header.Set("If-None-Match", cachedETag)
+		}
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
@@ -335,10 +421,25 @@ func (c *Client) getFrom(ctx context.Context, base, path string, extra url.Value
 		return err
 	}
 	defer resp.Body.Close()
+	// reader yields the response's identity bytes whatever the wire
+	// encoding; every cap below bounds decompressed output, so a
+	// hostile gzip bomb cannot expand past maxResponseBytes.
+	var reader io.Reader = resp.Body
+	if strings.Contains(strings.ToLower(resp.Header.Get("Content-Encoding")), "gzip") {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return fmt.Errorf("cuisines: bad gzip response on %s: %w", path, err)
+		}
+		defer zr.Close()
+		reader = zr
+	}
+	if resp.StatusCode == http.StatusNotModified && cachedETag != "" {
+		return decodeBody(cachedBody, out)
+	}
 	if resp.StatusCode != http.StatusOK {
 		// Error bodies are tiny by construction; read a capped prefix
 		// and never fail on an oversized one.
-		body, err := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
+		body, err := io.ReadAll(io.LimitReader(reader, maxErrorBodyBytes))
 		if err != nil {
 			return err
 		}
@@ -351,15 +452,26 @@ func (c *Client) getFrom(ctx context.Context, base, path string, extra url.Value
 	// Read one byte past the cap so an exactly-at-cap body still
 	// succeeds and an over-cap one is detected rather than silently
 	// truncated into corrupt JSON.
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	body, err := io.ReadAll(io.LimitReader(reader, maxResponseBytes+1))
 	if err != nil {
 		return err
 	}
 	if int64(len(body)) > maxResponseBytes {
 		return fmt.Errorf("cuisines: response too large on %s (over %d bytes)", path, maxResponseBytes)
 	}
+	if c.Revalidate {
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.revalPut(u, etag, body)
+		}
+	}
+	return decodeBody(body, out)
+}
+
+// decodeBody delivers identity body bytes into out: verbatim for a
+// *[]byte sink, JSON-decoded otherwise.
+func decodeBody(body []byte, out any) error {
 	if raw, ok := out.(*[]byte); ok {
-		*raw = body
+		*raw = append([]byte(nil), body...)
 		return nil
 	}
 	return json.Unmarshal(body, out)

@@ -77,6 +77,7 @@ func main() {
 		cacheSize = flag.Int("cache-size", server.DefaultCacheSize, "max distinct analyses kept (LRU)")
 		cacheDir  = flag.String("cache-dir", "", "persist pipeline stage artifacts here so restarts come back warm (empty = memory only)")
 		cacheMax  = flag.Int64("cache-max-bytes", 0, "cache-dir size cap; least-recently-used artifacts are deleted above it (0 = 4 GiB default)")
+		renderMax = flag.Int64("render-cache-bytes", 0, "rendered-response cache byte budget (bodies + gzip variants, LRU; 0 = 32 MiB default)")
 		preload   = flag.Bool("preload", false, "warm the default analysis at boot")
 		scale     = flag.Float64("scale", 1.0, "default corpus scale")
 		seed      = flag.Uint64("seed", corpus.DefaultSeed, "default corpus generator seed")
@@ -169,6 +170,7 @@ func main() {
 			Miner:      *minerName,
 		},
 		CacheSize:         *cacheSize,
+		RenderCacheBytes:  *renderMax,
 		Engine:            engine,
 		MaxConcurrentRuns: *maxRuns,
 		MaxQueuedRuns:     *maxQueue,
@@ -237,6 +239,9 @@ func main() {
 		log.Printf("analysis cache: size=%d/%d hits=%d misses=%d evictions=%d inflight_joins=%d",
 			st.Analyses.Size, st.Analyses.Capacity, st.Analyses.Hits, st.Analyses.Misses,
 			st.Analyses.Evictions, st.Analyses.InFlightJoins)
+		log.Printf("render cache: entries=%d bytes=%d/%d hits=%d misses=%d evictions=%d gzip=%d not_modified=%d",
+			st.Renders.Entries, st.Renders.Bytes, st.Renders.CapacityBytes, st.Renders.Hits,
+			st.Renders.Misses, st.Renders.Evictions, st.Renders.GzipVariants, st.Renders.NotModified)
 		for _, line := range engine.CacheSummary() {
 			log.Printf("stage %s", line)
 		}

@@ -60,6 +60,11 @@ type endpoint struct {
 	current int // smooth-WRR state
 	sent    int
 	path    func(i int) string
+	// revalCarry accumulates the -revalidate fraction: each time it
+	// crosses 1 the next request carries If-None-Match. A deterministic
+	// carry, not a coin flip — two runs issue identical conditional
+	// sequences.
+	revalCarry float64
 }
 
 // target is one daemon base URL in the (possibly single-element)
@@ -88,16 +93,44 @@ type sample struct {
 	endpoint string
 	code     int // 0 on transport error
 	latency  time.Duration
+	bytes    int64 // response body bytes as they crossed the wire
 }
 
-// tally aggregates one endpoint's samples.
+// tally aggregates one endpoint's samples. ok counts 2xx plus 304 —
+// a revalidation answered Not Modified is a successful (and cheap)
+// request, tracked separately in notModified.
 type tally struct {
-	sent      int
-	ok        int
-	rejected  int // 429
-	errors    int // transport errors and 5xx
-	other     int // remaining non-2xx (4xx besides 429)
-	okLatency []time.Duration
+	sent        int
+	ok          int
+	rejected    int // 429
+	errors      int // transport errors and 5xx
+	other       int // remaining non-2xx (4xx besides 429)
+	notModified int // 304 answers (subset of ok)
+	bytes       int64
+	okLatency   []time.Duration
+}
+
+// etagStore remembers the last validator seen per URL so later requests
+// can revalidate. Concurrent response goroutines write it; the launcher
+// reads it.
+type etagStore struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func (s *etagStore) get(url string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[url]
+}
+
+func (s *etagStore) put(url, etag string) {
+	if etag == "" {
+		return
+	}
+	s.mu.Lock()
+	s.m[url] = etag
+	s.mu.Unlock()
 }
 
 func main() {
@@ -114,8 +147,13 @@ func main() {
 		out    = flag.String("o", "", "append the run to this benchjson file (empty = summary only)")
 		noWarm = flag.Bool("no-warm", false, "skip the warmup fetch; region-cycling endpoints then require a warm daemon")
 		local  = flag.Bool("local", false, "set the single-hop header so each node serves locally instead of proxying to the ring owner")
+		gz     = flag.Bool("gzip", false, "send Accept-Encoding: gzip and count compressed wire bytes")
+		reval  = flag.Float64("revalidate", 0, "fraction of each endpoint's requests sent conditionally (If-None-Match from the last seen ETag); 304s count as successes")
 	)
 	flag.Parse()
+	if *reval < 0 || *reval > 1 {
+		fatal(fmt.Errorf("revalidate must be in [0, 1]"))
+	}
 
 	var targets []*target
 	for _, b := range strings.Split(base, ",") {
@@ -142,7 +180,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "loadgen: %d target(s) starting %s for %v at %.0f req/s (%d endpoint classes)\n",
 		len(targets), targets[0].base, *duration, *rate, len(eps))
-	tallies := run(hc, targets, eps, *rate, *duration, *local)
+	tallies := run(hc, targets, eps, *rate, *duration, reqOptions{local: *local, gzip: *gz, revalidate: *reval})
 
 	results, err := report(eps, tallies, *duration)
 	if err != nil {
@@ -170,15 +208,30 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// reqOptions are the per-run request knobs.
+type reqOptions struct {
+	local      bool
+	gzip       bool
+	revalidate float64
+}
+
 // get issues one GET, optionally pinned to local serving via the
-// single-hop header (see server.HopHeader).
-func get(hc *http.Client, url string, local bool) (*http.Response, error) {
+// single-hop header (see server.HopHeader). A non-empty etag makes the
+// request conditional; gz negotiates compression explicitly (disabling
+// the transport's transparent mode, so body counts are wire bytes).
+func get(hc *http.Client, url string, local, gz bool, etag string) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
 	if local {
 		req.Header.Set(server.HopHeader, "1")
+	}
+	if gz {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
 	}
 	return hc.Do(req)
 }
@@ -192,7 +245,7 @@ func fetchRegions(hc *http.Client, base string, skip, local bool) ([]string, err
 	if skip {
 		return nil, nil
 	}
-	resp, err := get(hc, base+"/v1/table", local)
+	resp, err := get(hc, base+"/v1/table", local, false, "")
 	if err != nil {
 		return nil, fmt.Errorf("warmup fetch: %w", err)
 	}
@@ -300,7 +353,7 @@ func next(eps []*endpoint) *endpoint {
 // run launches requests on a fixed clock until the window closes, then
 // waits for stragglers and returns per-endpoint tallies. Each request
 // goes to the next target in WRR order.
-func run(hc *http.Client, targets []*target, eps []*endpoint, rate float64, window time.Duration, local bool) map[string]*tally {
+func run(hc *http.Client, targets []*target, eps []*endpoint, rate float64, window time.Duration, opts reqOptions) map[string]*tally {
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Nanosecond
@@ -322,11 +375,16 @@ func run(hc *http.Client, targets []*target, eps []*endpoint, rate float64, wind
 		for s := range samples {
 			t := tallies[s.endpoint]
 			t.sent++
+			t.bytes += s.bytes
 			switch {
 			case s.code == 0:
 				t.errors++
 			case s.code >= 200 && s.code < 300:
 				t.ok++
+				t.okLatency = append(t.okLatency, s.latency)
+			case s.code == http.StatusNotModified:
+				t.ok++
+				t.notModified++
 				t.okLatency = append(t.okLatency, s.latency)
 			case s.code == http.StatusTooManyRequests:
 				t.rejected++
@@ -338,6 +396,7 @@ func run(hc *http.Client, targets []*target, eps []*endpoint, rate float64, wind
 		}
 	}()
 
+	etags := &etagStore{m: make(map[string]string)}
 	var inflight sync.WaitGroup
 loop:
 	for {
@@ -349,19 +408,36 @@ loop:
 			p := e.path(e.sent)
 			e.sent++
 			base := nextTarget(targets).base
+			url := base + p
+			// Decide conditionality in the launcher (single goroutine),
+			// keeping the conditional sequence deterministic; a slot is
+			// consumed only when a validator for the URL exists yet.
+			etag := ""
+			if opts.revalidate > 0 {
+				e.revalCarry += opts.revalidate
+				if e.revalCarry >= 1 {
+					if etag = etags.get(url); etag != "" {
+						e.revalCarry--
+					}
+				}
+			}
 			inflight.Add(1)
-			go func(name, url string) {
+			go func(name, url, etag string) {
 				defer inflight.Done()
 				start := time.Now()
 				code := 0
-				resp, err := get(hc, url, local)
+				var n int64
+				resp, err := get(hc, url, opts.local, opts.gzip, etag)
 				if err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
+					n, _ = io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					code = resp.StatusCode
+					if code == http.StatusOK {
+						etags.put(url, resp.Header.Get("ETag"))
+					}
 				}
-				samples <- sample{endpoint: name, code: code, latency: time.Since(start)}
-			}(e.name, base+p)
+				samples <- sample{endpoint: name, code: code, latency: time.Since(start), bytes: n}
+			}(e.name, url, etag)
 		}
 	}
 	inflight.Wait()
@@ -402,7 +478,11 @@ func report(eps []*endpoint, tallies map[string]*tally, window time.Duration) ([
 				"rps":      float64(t.ok) / window.Seconds(),
 				"sent":     float64(t.sent),
 				"http_429": float64(t.rejected),
+				"http_304": float64(t.notModified),
 				"errors":   float64(t.errors),
+				// Body bytes as they crossed the wire, averaged over
+				// successes: the number gzip and 304s exist to shrink.
+				"bytes_per_op": float64(t.bytes) / float64(t.ok),
 			},
 		})
 	}
@@ -435,9 +515,9 @@ func printSummary(w io.Writer, eps []*endpoint, tallies map[string]*tally, windo
 				e.name, t.sent, t.rejected, t.errors, t.other)
 			continue
 		}
-		fmt.Fprintf(w, "  %-12s sent=%d ok=%d 429=%d err=%d p50=%.1fms p99=%.1fms %.1f req/s\n",
-			e.name, t.sent, t.ok, t.rejected, t.errors,
+		fmt.Fprintf(w, "  %-12s sent=%d ok=%d 304=%d 429=%d err=%d p50=%.1fms p99=%.1fms %.0fB/op %.1f req/s\n",
+			e.name, t.sent, t.ok, t.notModified, t.rejected, t.errors,
 			ms(percentile(t.okLatency, 50)), ms(percentile(t.okLatency, 99)),
-			float64(t.ok)/window.Seconds())
+			float64(t.bytes)/float64(t.ok), float64(t.ok)/window.Seconds())
 	}
 }

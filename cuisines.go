@@ -189,6 +189,14 @@ type Analysis struct {
 
 	cophOnce [numFigures]sync.Once
 	coph     [numFigures]*distance.Condensed
+
+	// rulesMu guards the bounded association-rule memo (rules.go):
+	// rule generation takes distinct parameters per call, so it
+	// memoizes per parameter tuple in a small FIFO map rather than a
+	// sync.Once like the derivations above.
+	rulesMu    sync.Mutex
+	rulesMemo  map[rulesKey][]AssociationRule
+	rulesOrder []rulesKey
 }
 
 // EngineConfig configures an Engine.

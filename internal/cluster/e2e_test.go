@@ -9,6 +9,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -91,6 +92,13 @@ func startCluster(t *testing.T, n, replicas int) []*testNode {
 // getNode performs one GET against a node. local pins local serving
 // via the hop header (what the proxy sets), bypassing cluster routing.
 func getNode(t *testing.T, base, path string, local bool) (int, []byte) {
+	code, body, _ := getNodeHdr(t, base, path, local, nil)
+	return code, body
+}
+
+// getNodeHdr is getNode with request headers in and response headers
+// out, for the HTTP-caching passthrough assertions.
+func getNodeHdr(t *testing.T, base, path string, local bool, headers map[string]string) (int, []byte, http.Header) {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodGet, base+path, nil)
 	if err != nil {
@@ -98,6 +106,9 @@ func getNode(t *testing.T, base, path string, local bool) (int, []byte) {
 	}
 	if local {
 		req.Header.Set(server.HopHeader, "1")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -108,7 +119,7 @@ func getNode(t *testing.T, base, path string, local bool) (int, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, body
+	return resp.StatusCode, body, resp.Header
 }
 
 // stageTotals sums the per-stage cache counters of one engine.
@@ -132,12 +143,17 @@ func TestClusterWarmServing(t *testing.T) {
 	// A computes locally (hop header pins local serving, exactly as a
 	// proxied request would arrive).
 	bodiesA := make(map[string][]byte, len(paths))
+	etagsA := make(map[string]string, len(paths))
 	for _, p := range paths {
-		code, body := getNode(t, nodes[0].url, p, true)
+		code, body, h := getNodeHdr(t, nodes[0].url, p, true, nil)
 		if code != 200 {
 			t.Fatalf("node A GET %s = %d\n%s", p, code, body)
 		}
 		bodiesA[p] = body
+		etagsA[p] = h.Get("ETag")
+		if etagsA[p] == "" {
+			t.Fatalf("node A GET %s: no ETag", p)
+		}
 	}
 	if computed, _ := stageTotals(nodes[0].engine); computed == 0 {
 		t.Fatal("node A served without computing anything; fixture broken")
@@ -150,12 +166,21 @@ func TestClusterWarmServing(t *testing.T) {
 	for i, tn := range nodes[1:] {
 		name := string(rune('B' + i))
 		for _, p := range paths {
-			code, body := getNode(t, tn.url, p, true)
+			code, body, h := getNodeHdr(t, tn.url, p, true, nil)
 			if code != 200 {
 				t.Fatalf("node %s GET %s = %d\n%s", name, p, code, body)
 			}
 			if !bytes.Equal(body, bodiesA[p]) {
 				t.Fatalf("node %s GET %s not byte-identical to node A:\n%q\nvs\n%q", name, p, body, bodiesA[p])
+			}
+			// The determinism invariant makes strong validators
+			// fleet-stable: every node computes the same sha256.
+			if h.Get("ETag") != etagsA[p] {
+				t.Fatalf("node %s GET %s ETag %q != node A's %q", name, p, h.Get("ETag"), etagsA[p])
+			}
+			// A validator issued by node A revalidates against this node.
+			if code, body, _ := getNodeHdr(t, tn.url, p, true, map[string]string{"If-None-Match": etagsA[p]}); code != http.StatusNotModified || len(body) != 0 {
+				t.Fatalf("node %s GET %s with node A's validator = %d (%d bytes), want empty 304", name, p, code, len(body))
 			}
 		}
 		// The pinned counters: cluster-warm means zero stage recomputes.
@@ -402,10 +427,40 @@ func TestClusterProxyAndDeadOwnerFallback(t *testing.T) {
 	if computed, _ := stageTotals(a.engine); computed == 0 {
 		t.Fatal("owner did not compute the proxied request")
 	}
-	code, onA := getNode(t, a.url, path(seeds[0]), true)
+	code, onA, hA := getNodeHdr(t, a.url, path(seeds[0]), true, nil)
 	if code != 200 || !bytes.Equal(viaB, onA) {
 		t.Fatalf("proxied body differs from owner's (code %d)", code)
 	}
+
+	// HTTP-caching passthrough: the proxy relays the owner's validator
+	// and encoding untouched, so clients cache through any node.
+	etag := hA.Get("ETag")
+	if etag == "" {
+		t.Fatal("owner response has no ETag")
+	}
+	_, _, hViaB := getNodeHdr(t, b.url, path(seeds[0]), false, nil)
+	if hViaB.Get("ETag") != etag {
+		t.Fatalf("proxied ETag %q != owner's %q", hViaB.Get("ETag"), etag)
+	}
+	if code, body, h := getNodeHdr(t, b.url, path(seeds[0]), false, map[string]string{"If-None-Match": etag}); code != http.StatusNotModified || len(body) != 0 || h.Get("ETag") != etag {
+		t.Fatalf("conditional proxied GET = %d (%d bytes, ETag %q), want empty 304 with %q", code, len(body), h.Get("ETag"), etag)
+	}
+	code, gzBody, hGz := getNodeHdr(t, b.url, path(seeds[0]), false, map[string]string{"Accept-Encoding": "gzip"})
+	if code != 200 || hGz.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip proxied GET = %d, Content-Encoding %q", code, hGz.Get("Content-Encoding"))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gzBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded, onA) {
+		t.Fatal("gzip proxied body does not decode to the owner's identity bytes")
+	}
+
 	var cr cuisines.ClusterResponse
 	_, body := getNode(t, b.url, "/v1/cluster", true)
 	if err := json.Unmarshal(body, &cr); err != nil {

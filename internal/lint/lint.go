@@ -88,13 +88,18 @@ func normPkgPath(path string) (base string, externalTest bool) {
 }
 
 // clusterPkgs extends the wallclock/nakedgo scope (not the full
-// determinism contract) to the cluster layer: internal/cluster makes
-// routing and fetch decisions that must be reproducible in tests, so
-// its clocks are injected (wallclock) and its only concurrency is the
-// daemon-run health loop (nakedgo). mapiter/canonfields/codecver stay
-// out — the package neither renders maps into output nor owns codecs.
+// determinism contract) to serving-infrastructure packages whose
+// behavior must be reproducible in tests: internal/cluster makes
+// routing and fetch decisions, so its clocks are injected (wallclock)
+// and its only concurrency is the daemon-run health loop (nakedgo);
+// internal/render evicts by pure access order and single-flights
+// builds on the caller's goroutine, so an ambient clock or a naked go
+// creeping into its eviction logic is a design regression, not a
+// style nit. mapiter/canonfields/codecver stay out — these packages
+// neither render maps into output nor own codecs.
 var clusterPkgs = map[string]bool{
 	"cuisines/internal/cluster": true,
+	"cuisines/internal/render":  true,
 }
 
 // inScope reports whether the pass's package is under the determinism

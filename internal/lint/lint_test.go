@@ -56,6 +56,14 @@ func TestWallClockCluster(t *testing.T) {
 	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/cluster")
 }
 
+// TestWallClockRender pins the render-cache scope: the rendered-
+// response cache's eviction logic is pure access order, so an ambient
+// clock read there is a finding (an expiry scheme would inject its
+// clock like internal/cluster/health.go does).
+func TestWallClockRender(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock", lint.WallClock, "cuisines/internal/render")
+}
+
 func TestNakedGo(t *testing.T) {
 	linttest.Run(t, "testdata/nakedgo", lint.NakedGo, "cuisines/internal/hac")
 }

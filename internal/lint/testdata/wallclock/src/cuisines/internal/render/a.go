@@ -1,0 +1,22 @@
+// Fixture for the wallclock analyzer's render-cache scope: the
+// rendered-response cache is outside the full determinism contract but
+// its eviction logic must stay clock-free — LRU recency is pure access
+// order, never a timestamp. An expiry-by-time scheme would need an
+// injected clock (the internal/cluster/health.go idiom), not an
+// ambient read.
+package render
+
+import "time"
+
+type entry struct {
+	lastUsed time.Time
+	now      func() time.Time
+}
+
+func (e *entry) touchBad() { e.lastUsed = time.Now() } // want `time.Now reads the wall clock`
+
+func (e *entry) touchOK() { e.lastUsed = e.now() }
+
+func expiredBad(e *entry, ttl time.Duration) bool { return time.Since(e.lastUsed) > ttl } // want `time.Since reads the wall clock`
+
+func expiredOK(e *entry, ttl time.Duration) bool { return e.now().Sub(e.lastUsed) > ttl }

@@ -1,0 +1,285 @@
+// Package render implements the rendered-response cache: the last
+// serving-layer transformation — deriving a response value from an
+// Analysis and marshaling it to bytes — memoized so a warm request
+// costs one lookup and one Write (DESIGN.md §14).
+//
+// Every /v1 response body is a pure, deterministic function of the
+// canonicalized analysis options plus the request's own parameters
+// (the invariant cuisinelint enforces at compile time and the cluster
+// layer relies on for byte-identical serving). That purity makes the
+// rendered bytes cacheable forever and their strong ETags fleet-stable:
+// every node computes the same sha256 for the same key, so validators
+// issued by one node revalidate correctly against any other.
+//
+// Each entry holds the compact identity body, its strong ETag (the
+// sha256 of the bytes, ready-quoted), and a lazily-built, built-once
+// gzip variant. Entries are single-flighted per key — N concurrent
+// requests for a cold render produce exactly one derive+marshal — and
+// the cache is byte-bounded with LRU eviction. Entries belong to an
+// owner (the analysis cache key); when the analysis LRU evicts an
+// analysis, DropOwner discards its renders in the same breath, so the
+// render cache can never serve bytes for an analysis the daemon no
+// longer holds.
+//
+// The package is deliberately clock-free and goroutine-free: LRU
+// recency is pure access order, and the first caller builds the entry
+// on its own goroutine while later callers wait on a ready channel.
+// cuisinelint's wallclock analyzer covers this package (see
+// internal/lint, clusterPkgs) so eviction logic can never silently
+// grow an ambient time.Now.
+package render
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// DefaultMaxBytes bounds the cache when the caller passes maxBytes <=
+// 0: enough for thousands of compact endpoint bodies, small next to
+// one cached Analysis.
+const DefaultMaxBytes = 32 << 20
+
+// gzipMinBytes is the smallest body worth compressing: below it the
+// gzip header overhead rivals the savings and the variant would only
+// burn cache budget.
+const gzipMinBytes = 256
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Entries       int
+	Bytes         int64
+	MaxBytes      int64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	InFlightJoins uint64
+	GzipVariants  uint64
+}
+
+// Cache is the rendered-response cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	lru     *list.List                 // of *Entry; front = most recently used
+	owners  map[string]map[string]bool // owner → set of entry keys
+	bytes   int64
+
+	hits, misses, evictions, joins, gzipVariants uint64
+}
+
+// Entry is one cached render. Body and ETag are immutable once ready;
+// an evicted Entry still held by an in-flight request stays valid.
+type Entry struct {
+	c     *Cache
+	key   string
+	owner string
+	elem  *list.Element
+
+	ready chan struct{} // closed once body/etag/err are final
+	err   error
+
+	body []byte
+	etag string // strong validator, ready-quoted: "\"<sha256-hex>\""
+	size int64  // bytes accounted to the cache (body, later +gzip); guarded by c.mu
+
+	gzOnce sync.Once
+	gz     []byte // nil when gzip would not help (tiny or incompressible)
+}
+
+// New returns a Cache bounded to maxBytes of body+gzip bytes (<= 0
+// means DefaultMaxBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*Entry),
+		lru:      list.New(),
+		owners:   make(map[string]map[string]bool),
+	}
+}
+
+// Get returns the entry for key, building it at most once no matter how
+// many callers arrive concurrently: the first caller runs build on its
+// own goroutine, the rest wait for the result (or their context). A
+// failed build is reported to every waiter and never cached. owner
+// scopes the entry's lifetime — DropOwner(owner) discards it.
+func (c *Cache) Get(ctx context.Context, owner, key string, build func() ([]byte, error)) (*Entry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e, e.err
+		default:
+			c.joins++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				return e, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	c.misses++
+	e := &Entry{c: c, key: key, owner: owner, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	set := c.owners[owner]
+	if set == nil {
+		set = make(map[string]bool)
+		c.owners[owner] = set
+	}
+	set[key] = true
+	c.mu.Unlock()
+
+	body, err := build()
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		c.removeLocked(e)
+	} else {
+		e.body = body
+		sum := sha256.Sum256(body)
+		e.etag = `"` + hex.EncodeToString(sum[:]) + `"`
+		if c.entries[key] == e { // not dropped mid-build
+			e.size = int64(len(body))
+			c.bytes += e.size
+			c.evictLocked()
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e, err
+}
+
+// evictLocked drops least-recently-used ready entries until the byte
+// budget holds. In-flight entries are skipped — their sizes are not
+// yet accounted and their builders hold references anyway. The newest
+// entry is never evicted: a single body larger than the whole budget
+// is served once and evicted by the next insert.
+func (c *Cache) evictLocked() {
+	el := c.lru.Back()
+	for c.bytes > c.maxBytes && el != nil && el != c.lru.Front() {
+		prev := el.Prev()
+		e := el.Value.(*Entry)
+		select {
+		case <-e.ready:
+			c.removeLocked(e)
+			c.evictions++
+		default: // in flight; skip
+		}
+		el = prev
+	}
+}
+
+// removeLocked unlinks e from the map, the LRU list, the owner index
+// and the byte account. Idempotent.
+func (c *Cache) removeLocked(e *Entry) {
+	if c.entries[e.key] != e {
+		return
+	}
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.size
+	if set := c.owners[e.owner]; set != nil {
+		delete(set, e.key)
+		if len(set) == 0 {
+			delete(c.owners, e.owner)
+		}
+	}
+}
+
+// DropOwner discards every entry belonging to owner — called by the
+// serving layer when the owning analysis is evicted, so render
+// lifetime can never exceed analysis lifetime. In-flight entries are
+// dropped from the index too: their builders still complete and answer
+// their waiters, but the result is not retained.
+func (c *Cache) DropOwner(owner string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.owners[owner]
+	for key := range set {
+		if e := c.entries[key]; e != nil {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+			c.bytes -= e.size
+			c.evictions++
+		}
+	}
+	delete(c.owners, owner)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:       c.lru.Len(),
+		Bytes:         c.bytes,
+		MaxBytes:      c.maxBytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		InFlightJoins: c.joins,
+		GzipVariants:  c.gzipVariants,
+	}
+}
+
+// Body returns the identity (uncompressed, compact) bytes.
+func (e *Entry) Body() []byte { return e.body }
+
+// ETag returns the strong validator for this render: the sha256 of the
+// identity bytes, already quoted for the header. The same ETag covers
+// the gzip variant — both encodings carry identical content, and the
+// determinism invariant makes the value byte-identical fleet-wide.
+func (e *Entry) ETag() string { return e.etag }
+
+// Gzip returns the compressed variant, building it exactly once per
+// entry — compression cost is paid on the first gzip-accepting request
+// and never again. It returns nil when compression would not pay: tiny
+// bodies and bodies gzip cannot shrink are served identity-only.
+func (e *Entry) Gzip() []byte {
+	e.gzOnce.Do(func() {
+		if len(e.body) < gzipMinBytes {
+			return
+		}
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		if err != nil {
+			return
+		}
+		if _, err := zw.Write(e.body); err != nil {
+			return
+		}
+		if err := zw.Close(); err != nil {
+			return
+		}
+		if buf.Len() >= len(e.body) {
+			return
+		}
+		e.gz = buf.Bytes()
+		c := e.c
+		c.mu.Lock()
+		c.gzipVariants++
+		if c.entries[e.key] == e {
+			e.size += int64(len(e.gz))
+			c.bytes += int64(len(e.gz))
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+	})
+	return e.gz
+}

@@ -1,0 +1,257 @@
+package render
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ctx() context.Context { return context.Background() }
+
+func TestSingleFlight(t *testing.T) {
+	c := New(0)
+	var builds atomic.Int64
+	const n = 32
+	results := make([]*Entry, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = c.Get(ctx(), "o", "k", func() ([]byte, error) {
+				builds.Add(1)
+				return []byte(`{"v":1}`), nil
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d concurrent gets ran %d builds, want 1", n, got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("get %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("get %d returned a different entry", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.InFlightJoins != n-1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFailedBuildNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.Get(ctx(), "o", "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var builds int
+	e, err := c.Get(ctx(), "o", "k", func() ([]byte, error) {
+		builds++
+		return []byte("ok body"), nil
+	})
+	if err != nil || builds != 1 {
+		t.Fatalf("retry after failure: err=%v builds=%d", err, builds)
+	}
+	if string(e.Body()) != "ok body" {
+		t.Fatalf("body %q", e.Body())
+	}
+}
+
+func TestETagIsQuotedSHA256(t *testing.T) {
+	c := New(0)
+	e, err := c.Get(ctx(), "o", "k", func() ([]byte, error) { return []byte("hello"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sha256("hello")
+	want := `"2cf24dba5fb0a30e26e83b2ac5b9e29e1b161e5c1fa7425e73043362938b9824"`
+	if e.ETag() != want {
+		t.Fatalf("etag %s, want %s", e.ETag(), want)
+	}
+}
+
+func TestByteBoundedLRUEviction(t *testing.T) {
+	body := strings.Repeat("x", 1024)
+	c := New(3 * 1024) // room for three bodies
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(ctx(), "o", fmt.Sprintf("k%d", i), func() ([]byte, error) {
+			return []byte(body), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Bytes != 3*1024 || st.Evictions != 2 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	// k0 and k1 were evicted; k4 (most recent) was not.
+	rebuilt := false
+	if _, err := c.Get(ctx(), "o", "k4", func() ([]byte, error) {
+		rebuilt = true
+		return []byte(body), nil
+	}); err != nil || rebuilt {
+		t.Fatalf("k4 evicted (rebuilt=%v err=%v), want retained", rebuilt, err)
+	}
+	if _, err := c.Get(ctx(), "o", "k0", func() ([]byte, error) {
+		rebuilt = true
+		return []byte(body), nil
+	}); err != nil || !rebuilt {
+		t.Fatalf("k0 not rebuilt after eviction (err=%v)", err)
+	}
+}
+
+func TestOversizedBodyServedOnce(t *testing.T) {
+	c := New(10)
+	big := strings.Repeat("y", 100)
+	e, err := c.Get(ctx(), "o", "big", func() ([]byte, error) { return []byte(big), nil })
+	if err != nil || string(e.Body()) != big {
+		t.Fatalf("oversized body not served: %v", err)
+	}
+	// The next insert pushes it out.
+	if _, err := c.Get(ctx(), "o", "small", func() ([]byte, error) { return []byte("z"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Bytes > 10 {
+		t.Fatalf("budget not restored: %+v", st)
+	}
+}
+
+func TestDropOwner(t *testing.T) {
+	c := New(0)
+	for _, k := range []string{"a1", "a2"} {
+		if _, err := c.Get(ctx(), "A", k, func() ([]byte, error) { return []byte("aaaa"), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get(ctx(), "B", "b1", func() ([]byte, error) { return []byte("bbbb"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.DropOwner("A")
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 4 || st.Evictions != 2 {
+		t.Fatalf("after DropOwner: %+v", st)
+	}
+	// B survives, A rebuilds.
+	rebuilt := false
+	if _, err := c.Get(ctx(), "B", "b1", func() ([]byte, error) { rebuilt = true; return nil, nil }); err != nil || rebuilt {
+		t.Fatalf("B dropped with A (rebuilt=%v)", rebuilt)
+	}
+	if _, err := c.Get(ctx(), "A", "a1", func() ([]byte, error) { rebuilt = true; return []byte("aaaa"), nil }); err != nil || !rebuilt {
+		t.Fatal("A's entries survived DropOwner")
+	}
+}
+
+func TestGzipBuiltOnceAndSkipsTinyBodies(t *testing.T) {
+	c := New(0)
+	tiny, err := c.Get(ctx(), "o", "tiny", func() ([]byte, error) { return []byte(`{"a":1}`), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz := tiny.Gzip(); gz != nil {
+		t.Fatalf("tiny body got a gzip variant (%d bytes)", len(gz))
+	}
+	body := []byte(strings.Repeat(`{"region":"Japanese","support":0.25},`, 200))
+	e, err := c.Get(ctx(), "o", "big", func() ([]byte, error) { return body, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz1 := e.Gzip()
+	gz2 := e.Gzip()
+	if gz1 == nil || &gz1[0] != &gz2[0] {
+		t.Fatal("gzip variant not built exactly once")
+	}
+	if len(gz1) >= len(body) {
+		t.Fatalf("gzip variant (%d) not smaller than body (%d)", len(gz1), len(body))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(decoded, body) {
+		t.Fatalf("gzip round-trip mismatch (err=%v)", err)
+	}
+	st := c.Stats()
+	if st.GzipVariants != 1 {
+		t.Fatalf("gzip variants = %d, want 1", st.GzipVariants)
+	}
+	if st.Bytes != int64(len(tiny.Body())+len(body)+len(gz1)) {
+		t.Fatalf("bytes accounting off: %+v", st)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(0)
+	release := make(chan struct{})
+	go func() {
+		_, _ = c.Get(ctx(), "o", "slow", func() ([]byte, error) {
+			<-release
+			return []byte("done"), nil
+		})
+	}()
+	// Wait for the flight to exist.
+	for {
+		c.mu.Lock()
+		_, ok := c.entries["slow"]
+		c.mu.Unlock()
+		if ok {
+			break
+		}
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cctx, "o", "slow", func() ([]byte, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	close(release)
+}
+
+// TestConcurrentMixedTraffic exercises get/gzip/drop concurrently under
+// -race: the LRU, the owner index and the byte account must stay
+// coherent with gzip variants landing mid-flight.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c := New(64 << 10)
+	body := strings.Repeat("payload ", 200)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				owner := fmt.Sprintf("o%d", i%3)
+				key := fmt.Sprintf("%s|k%d", owner, i%17)
+				e, err := c.Get(ctx(), owner, key, func() ([]byte, error) { return []byte(body), nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == 0 {
+					e.Gzip()
+				}
+				if g == 0 && i%50 == 49 {
+					c.DropOwner(owner)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Bytes > st.MaxBytes+int64(len(body)) {
+		t.Fatalf("byte account out of range: %+v", st)
+	}
+}

@@ -45,6 +45,12 @@ type Cache struct {
 	gate *Gate // nil = unbounded admission
 	max  int
 
+	// onEvict, when non-nil, is called (outside the cache lock) with
+	// each evicted key. The server uses it to drop the key's rendered
+	// responses, tying render lifetime to analysis lifetime. Set it
+	// before serving; it is read without synchronization.
+	onEvict func(key cuisines.Options)
+
 	mu      sync.Mutex
 	entries map[cuisines.Options]*entry
 	lru     *list.List // of *entry; front = most recently used
@@ -163,6 +169,7 @@ func (c *Cache) Get(ctx context.Context, opts cuisines.Options) (*cuisines.Analy
 	e := &entry{key: key, ready: make(chan struct{}), waiters: 1, cancel: cancel}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
+	var dropped []cuisines.Options
 	for c.lru.Len() > c.max {
 		// Evicting an in-flight entry is safe: its waiters hold the
 		// entry itself and still get the shared result.
@@ -171,8 +178,14 @@ func (c *Cache) Get(ctx context.Context, opts cuisines.Options) (*cuisines.Analy
 		c.lru.Remove(back)
 		delete(c.entries, ev.key)
 		c.evictions++
+		dropped = append(dropped, ev.key)
 	}
 	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, k := range dropped {
+			c.onEvict(k)
+		}
+	}
 
 	go func() {
 		defer release()

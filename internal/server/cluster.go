@@ -76,12 +76,26 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) b
 		return false
 	}
 	req.Header.Set(HopHeader, "1")
+	// The conditional-request and negotiation headers travel with the
+	// request so the owner can answer 304 or serve its gzip variant;
+	// the response's validator and encoding come back untouched (the
+	// proxy client never transcodes, see DisableCompression). The
+	// determinism invariant makes this safe end-to-end: every node
+	// derives byte-identical bodies, so ETags agree fleet-wide.
+	for _, h := range []string{"If-None-Match", "Accept-Encoding"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
 	resp, err := s.proxyClient.Do(req)
 	if err != nil {
 		return false
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{
+		"Content-Type", "Retry-After",
+		"ETag", "Cache-Control", "Vary", "Content-Encoding", "Content-Length",
+	} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

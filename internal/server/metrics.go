@@ -174,6 +174,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"eviction\"} %d\n", cs.Evictions)
 	fmt.Fprintf(w, "cuisined_analysis_cache_events_total{event=\"inflight_join\"} %d\n", cs.InFlightJoins)
 
+	rs := s.renders.Stats()
+	fmt.Fprintf(w, "# HELP cuisined_render_cache_entries Rendered responses currently cached.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_render_cache_entries gauge\n")
+	fmt.Fprintf(w, "cuisined_render_cache_entries %d\n", rs.Entries)
+	fmt.Fprintf(w, "# HELP cuisined_render_cache_bytes Bytes held by the render cache (bodies plus gzip variants).\n")
+	fmt.Fprintf(w, "# TYPE cuisined_render_cache_bytes gauge\n")
+	fmt.Fprintf(w, "cuisined_render_cache_bytes %d\n", rs.Bytes)
+	fmt.Fprintf(w, "# HELP cuisined_render_cache_capacity_bytes Configured render cache byte budget.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_render_cache_capacity_bytes gauge\n")
+	fmt.Fprintf(w, "cuisined_render_cache_capacity_bytes %d\n", rs.MaxBytes)
+	fmt.Fprintf(w, "# HELP cuisined_render_cache_events_total Render cache traffic, by event.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_render_cache_events_total counter\n")
+	fmt.Fprintf(w, "cuisined_render_cache_events_total{event=\"hit\"} %d\n", rs.Hits)
+	fmt.Fprintf(w, "cuisined_render_cache_events_total{event=\"miss\"} %d\n", rs.Misses)
+	fmt.Fprintf(w, "cuisined_render_cache_events_total{event=\"eviction\"} %d\n", rs.Evictions)
+	fmt.Fprintf(w, "cuisined_render_cache_events_total{event=\"inflight_join\"} %d\n", rs.InFlightJoins)
+	fmt.Fprintf(w, "# HELP cuisined_render_cache_gzip_variants_total Gzip variants built (once per entry worth compressing).\n")
+	fmt.Fprintf(w, "# TYPE cuisined_render_cache_gzip_variants_total counter\n")
+	fmt.Fprintf(w, "cuisined_render_cache_gzip_variants_total %d\n", rs.GzipVariants)
+	fmt.Fprintf(w, "# HELP cuisined_http_not_modified_total Conditional requests answered 304 Not Modified.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_not_modified_total counter\n")
+	fmt.Fprintf(w, "cuisined_http_not_modified_total %d\n", s.notModified.Load())
+	fmt.Fprintf(w, "# HELP cuisined_http_body_bytes_total Response body bytes written from the render cache, by encoding.\n")
+	fmt.Fprintf(w, "# TYPE cuisined_http_body_bytes_total counter\n")
+	fmt.Fprintf(w, "cuisined_http_body_bytes_total{encoding=\"identity\"} %d\n", s.bytesIdentity.Load())
+	fmt.Fprintf(w, "cuisined_http_body_bytes_total{encoding=\"gzip\"} %d\n", s.bytesGzip.Load())
+
 	if s.engine != nil {
 		stages := s.engine.CacheStats()
 		fmt.Fprintf(w, "# HELP cuisined_stage_cache_events_total Per-stage artifact cache traffic, by stage and event.\n")

@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cuisines"
 	"cuisines/internal/cluster"
+	"cuisines/internal/render"
 )
 
 // Config configures a Server.
@@ -43,6 +45,10 @@ type Config struct {
 	// DefaultMaxQueuedRuns; negative means no queue (reject as soon as
 	// every slot is busy).
 	MaxQueuedRuns int
+	// RenderCacheBytes bounds the rendered-response cache (compact
+	// bodies plus their gzip variants) in bytes; <= 0 means
+	// render.DefaultMaxBytes. See DESIGN.md §14.
+	RenderCacheBytes int64
 	// RequestTimeout caps each request's wall-clock time, enforced via
 	// the request context (expired requests answer 503). 0 disables.
 	RequestTimeout time.Duration
@@ -75,6 +81,7 @@ const DefaultRetryAfter = time.Second
 type Server struct {
 	base       cuisines.Options
 	cache      *Cache
+	renders    *render.Cache
 	engine     *cuisines.Engine // nil when a custom Runner bypasses the stage graph
 	gate       *Gate            // nil when admission control is disabled
 	met        *metrics
@@ -82,6 +89,12 @@ type Server struct {
 	retryAfter time.Duration
 	accessLog  *log.Logger
 	mux        *http.ServeMux
+
+	// HTTP caching counters (see /metrics): conditional requests
+	// answered 304, and body bytes actually written per encoding.
+	notModified   atomic.Uint64
+	bytesIdentity atomic.Uint64
+	bytesGzip     atomic.Uint64
 
 	cluster     *cluster.Node // nil when single-node
 	proxy       proxyStats
@@ -125,6 +138,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		base:       cfg.Base,
 		cache:      NewCache(cfg.CacheSize, run, gate),
+		renders:    render.New(cfg.RenderCacheBytes),
 		engine:     engine,
 		gate:       gate,
 		met:        newMetrics(),
@@ -134,8 +148,14 @@ func New(cfg Config) *Server {
 		cluster:    cfg.Cluster,
 		// Forwarded requests carry the original request's context (and
 		// with it the per-request timeout); no extra client timeout.
-		proxyClient: &http.Client{},
+		// DisableCompression keeps proxied bytes exactly as the owner
+		// sent them — the proxy must never transcode a response whose
+		// ETag and Content-Encoding it forwards.
+		proxyClient: &http.Client{Transport: &http.Transport{DisableCompression: true}},
 	}
+	// Tie render lifetime to analysis lifetime: when the analysis LRU
+	// evicts a key, its rendered responses go with it.
+	s.cache.onEvict = func(key cuisines.Options) { s.renders.DropOwner(keyString(key)) }
 	mux := http.NewServeMux()
 	s.route(mux, "GET /healthz", s.handleHealth)
 	s.route(mux, "GET /metrics", s.handleMetrics)
@@ -157,7 +177,7 @@ func New(cfg Config) *Server {
 	s.route(mux, "GET /v1/substitutes/{region}", s.with(s.handleSubstitutes))
 	s.route(mux, "GET /v1/map", s.with(s.handleMap))
 	s.route(mux, "GET /v1/claims", s.with(s.handleClaims))
-	s.route(mux, "GET /v1/stats", s.handleStats)
+	s.route(mux, "GET /v1/stats", s.with(s.handleStats))
 	s.mux = mux
 	return s
 }
@@ -312,18 +332,19 @@ func (s *Server) requestOptions(r *http.Request) (opts, canon cuisines.Options, 
 const MaxScale = 4
 
 // analysisHandler is an endpoint handler that already has its analysis
-// resolved.
-type analysisHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis)
+// resolved (carried in the resource, alongside the render-cache owner
+// and the canonical options).
+type analysisHandler func(w http.ResponseWriter, r *http.Request, rc *resource)
 
 // figureHandler additionally has its {figure} path segment resolved.
-type figureHandler func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure)
+type figureHandler func(w http.ResponseWriter, r *http.Request, rc *resource, f cuisines.Figure)
 
 // with resolves the request's analysis through the cache before calling
 // h: bad analysis parameters are a 400, saturation a 429, an expired or
 // abandoned request a 503, any other pipeline failure a 500.
 func (s *Server) with(h analysisHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		opts, _, err := s.requestOptions(r)
+		opts, canon, err := s.requestOptions(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -336,7 +357,14 @@ func (s *Server) with(h analysisHandler) http.HandlerFunc {
 			s.writeAnalysisError(w, err)
 			return
 		}
-		h(w, r, a)
+		// The render owner is the analysis cache key (canon with the two
+		// output-neutral knobs zeroed), so requests differing only in
+		// workers/miner share rendered bytes just as they share the
+		// analysis.
+		key := canon
+		key.Workers = 0
+		key.Miner = ""
+		h(w, r, &resource{s: s, a: a, owner: keyString(key), canon: canon, pretty: isPretty(r)})
 	}
 }
 
@@ -371,8 +399,8 @@ func (s *Server) withFigure(h figureHandler) http.HandlerFunc {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		s.with(func(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-			h(w, r, a, f)
+		s.with(func(w http.ResponseWriter, r *http.Request, rc *resource) {
+			h(w, r, rc, f)
 		})(w, r)
 	}
 }
@@ -385,9 +413,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // per-stage artifact counters (empty when a custom Runner bypasses the
 // stage graph). The daemon logs the same numbers at shutdown.
 func (s *Server) CacheStats() cuisines.CacheStatsResponse {
+	rs := s.renders.Stats()
 	resp := cuisines.CacheStatsResponse{
 		Analyses: s.cache.Stats(),
 		Stages:   map[string]cuisines.StageCacheStats{},
+		Renders: cuisines.RenderCacheStats{
+			Entries:       rs.Entries,
+			Bytes:         rs.Bytes,
+			CapacityBytes: rs.MaxBytes,
+			Hits:          rs.Hits,
+			Misses:        rs.Misses,
+			Evictions:     rs.Evictions,
+			InFlightJoins: rs.InFlightJoins,
+			GzipVariants:  rs.GzipVariants,
+			NotModified:   s.notModified.Load(),
+		},
 	}
 	if s.engine != nil {
 		resp.Stages = s.engine.CacheStats()
@@ -399,71 +439,74 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.CacheStats())
 }
 
-func (s *Server) handleTable(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
-	writeJSON(w, http.StatusOK, cuisines.TableResponse{Rows: a.Table()})
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request, rc *resource) {
+	rc.serveJSON(w, r, "", func() (any, error) {
+		return cuisines.TableResponse{Rows: rc.a.Table()}, nil
+	})
 }
 
-func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
-	d, err := a.Dendrogram(f)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.DendrogramResponse{Figure: f.String(), Dendrogram: d})
+func (s *Server) handleDendrogram(w http.ResponseWriter, r *http.Request, rc *resource, f cuisines.Figure) {
+	rc.serveJSON(w, r, "", func() (any, error) {
+		d, err := rc.a.Dendrogram(f)
+		if err != nil {
+			return nil, err
+		}
+		return cuisines.DendrogramResponse{Figure: f.String(), Dendrogram: d}, nil
+	})
 }
 
-func (s *Server) handleNewick(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
-	nw, err := a.Newick(f)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(nw))
+func (s *Server) handleNewick(w http.ResponseWriter, r *http.Request, rc *resource, f cuisines.Figure) {
+	rc.serveBytes(w, r, "text/plain; charset=utf-8", "", func() ([]byte, error) {
+		nw, err := rc.a.Newick(f)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(nw), nil
+	})
 }
 
-func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, rc *resource, f cuisines.Figure) {
 	k, err := queryInt(r, "k", 0)
 	if err != nil || k < 1 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
 		return
 	}
-	groups, err := a.Clusters(f, k)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.ClustersResponse{Figure: f.String(), K: k, Clusters: groups})
+	rc.serveJSON(w, r, "", func() (any, error) {
+		groups, err := rc.a.Clusters(f, k)
+		if err != nil {
+			return nil, failWith(http.StatusBadRequest, err)
+		}
+		return cuisines.ClustersResponse{Figure: f.String(), K: k, Clusters: groups}, nil
+	})
 }
 
-func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis, f cuisines.Figure) {
+func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request, rc *resource, f cuisines.Figure) {
 	region := r.URL.Query().Get("region")
 	if region == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing region parameter"))
 		return
 	}
-	if !a.HasRegion(region) {
+	if !rc.a.HasRegion(region) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown region %q", region))
 		return
 	}
-	closest, err := a.ClosestCuisine(f, region)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	d, err := a.CuisineDistance(f, region, closest)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.ClosestResponse{
-		Figure: f.String(), Region: region, Closest: closest, Distance: d,
+	rc.serveJSON(w, r, "", func() (any, error) {
+		closest, err := rc.a.ClosestCuisine(f, region)
+		if err != nil {
+			return nil, err
+		}
+		d, err := rc.a.CuisineDistance(f, region, closest)
+		if err != nil {
+			return nil, err
+		}
+		return cuisines.ClosestResponse{
+			Figure: f.String(), Region: region, Closest: closest, Distance: d,
+		}, nil
 	})
 }
 
-func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	region, ok := pathRegion(w, r, a)
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request, rc *resource) {
+	region, ok := pathRegion(w, r, rc.a)
 	if !ok {
 		return
 	}
@@ -472,25 +515,27 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request, a *cu
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
 		return
 	}
-	fp, err := a.Fingerprint(region, k)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, fp)
+	rc.serveJSON(w, r, "", func() (any, error) {
+		fp, err := rc.a.Fingerprint(region, k)
+		if err != nil {
+			return nil, err
+		}
+		return fp, nil
+	})
 }
 
-func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	region, ok := pathRegion(w, r, a)
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, rc *resource) {
+	region, ok := pathRegion(w, r, rc.a)
 	if !ok {
 		return
 	}
-	ps, err := a.CuisinePatterns(region)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.PatternsResponse{Region: region, Patterns: ps})
+	rc.serveJSON(w, r, "", func() (any, error) {
+		ps, err := rc.a.CuisinePatterns(region)
+		if err != nil {
+			return nil, err
+		}
+		return cuisines.PatternsResponse{Region: region, Patterns: ps}, nil
+	})
 }
 
 // ruleParams parses the shared min_confidence / max query parameters.
@@ -509,8 +554,8 @@ func ruleParams(r *http.Request) (minConfidence float64, maxRules int, err error
 	return minConfidence, maxRules, nil
 }
 
-func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	region, ok := pathRegion(w, r, a)
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, rc *resource) {
+	region, ok := pathRegion(w, r, rc.a)
 	if !ok {
 		return
 	}
@@ -519,16 +564,17 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request, a *cuisines
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rules, err := a.AssociationRules(region, minConf, maxRules)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.RulesResponse{Region: region, Rules: rules})
+	rc.serveJSON(w, r, "", func() (any, error) {
+		rules, err := rc.a.AssociationRules(region, minConf, maxRules)
+		if err != nil {
+			return nil, err
+		}
+		return cuisines.RulesResponse{Region: region, Rules: rules}, nil
+	})
 }
 
-func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	region, ok := pathRegion(w, r, a)
+func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request, rc *resource) {
+	region, ok := pathRegion(w, r, rc.a)
 	if !ok {
 		return
 	}
@@ -537,21 +583,21 @@ func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request, a *cuisi
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pairing, err := a.FoodPairingFor(region)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	rules, err := a.IngredientPairings(region, minConf, maxRules)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.PairingsResponse{Region: region, Pairing: pairing, Rules: rules})
+	rc.serveJSON(w, r, "", func() (any, error) {
+		pairing, err := rc.a.FoodPairingFor(region)
+		if err != nil {
+			return nil, err
+		}
+		rules, err := rc.a.IngredientPairings(region, minConf, maxRules)
+		if err != nil {
+			return nil, err
+		}
+		return cuisines.PairingsResponse{Region: region, Pairing: pairing, Rules: rules}, nil
+	})
 }
 
-func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	region, ok := pathRegion(w, r, a)
+func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request, rc *resource) {
+	region, ok := pathRegion(w, r, rc.a)
 	if !ok {
 		return
 	}
@@ -565,73 +611,71 @@ func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request, a *cu
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be a positive integer"))
 		return
 	}
-	subs, err := a.Substitutes(region, ingredient, k)
-	if err != nil {
-		// The region exists (checked above), so the failure is the
-		// ingredient having no frequent context in this cuisine.
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.SubstitutesResponse{
-		Region: region, Ingredient: ingredient, Substitutes: subs,
+	rc.serveJSON(w, r, "", func() (any, error) {
+		subs, err := rc.a.Substitutes(region, ingredient, k)
+		if err != nil {
+			// The region exists (checked above), so the failure is the
+			// ingredient having no frequent context in this cuisine.
+			return nil, failWith(http.StatusNotFound, err)
+		}
+		return cuisines.SubstitutesResponse{
+			Region: region, Ingredient: ingredient, Substitutes: subs,
+		}, nil
 	})
 }
 
-func (s *Server) handleMap(w http.ResponseWriter, r *http.Request, a *cuisines.Analysis) {
-	points, variance, err := a.CuisineMap()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	resp := cuisines.MapResponse{Points: points, VarianceExplained: variance}
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request, rc *resource) {
 	q := r.URL.Query()
-	if q.Has("width") || q.Has("height") {
-		width, err := queryInt(r, "width", 0)
+	wantImage := q.Has("width") || q.Has("height")
+	var width, height int
+	if wantImage {
+		var err error
+		width, err = queryInt(r, "width", 0)
 		if err != nil || width < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad width parameter"))
 			return
 		}
-		height, err := queryInt(r, "height", 0)
+		height, err = queryInt(r, "height", 0)
 		if err != nil || height < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad height parameter"))
 			return
 		}
-		rendered, err := a.RenderCuisineMap(width, height)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		resp.Rendered = rendered
 	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleClaims(w http.ResponseWriter, _ *http.Request, a *cuisines.Analysis) {
-	writeJSON(w, http.StatusOK, cuisines.ClaimsResponse{
-		Claims:  a.Claims(),
-		Fits:    a.GeographyFits(),
-		AllHold: a.AllClaimsHold(),
+	rc.serveJSON(w, r, "", func() (any, error) {
+		points, variance, err := rc.a.CuisineMap()
+		if err != nil {
+			return nil, err
+		}
+		resp := cuisines.MapResponse{Points: points, VarianceExplained: variance}
+		if wantImage {
+			rendered, err := rc.a.RenderCuisineMap(width, height)
+			if err != nil {
+				return nil, err
+			}
+			resp.Rendered = rendered
+		}
+		return resp, nil
 	})
 }
 
-// handleStats resolves its own options (rather than going through
-// `with`) because the response echoes the canonical mining backend the
-// request selected alongside the corpus statistics.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	opts, canon, err := s.requestOptions(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if s.maybeProxy(w, r, opts) {
-		return
-	}
-	a, err := s.cache.Get(r.Context(), opts)
-	if err != nil {
-		s.writeAnalysisError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, cuisines.StatsResponse{Stats: a.Stats(), Miner: canon.Miner})
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request, rc *resource) {
+	rc.serveJSON(w, r, "", func() (any, error) {
+		return cuisines.ClaimsResponse{
+			Claims:  rc.a.Claims(),
+			Fits:    rc.a.GeographyFits(),
+			AllHold: rc.a.AllClaimsHold(),
+		}, nil
+	})
+}
+
+// handleStats echoes the canonical mining backend the request selected
+// alongside the corpus statistics. The miner is output-neutral for the
+// analysis (zeroed out of the cache key) but not for this response, so
+// it re-enters the render key as extraKey.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, rc *resource) {
+	rc.serveJSON(w, r, "|miner="+rc.canon.Miner, func() (any, error) {
+		return cuisines.StatsResponse{Stats: rc.a.Stats(), Miner: rc.canon.Miner}, nil
+	})
 }
 
 // pathRegion parses the {region} path segment, answering 404 itself on
@@ -658,11 +702,27 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 // writeJSON marshals before touching the ResponseWriter, so an
 // encoding failure (e.g. a non-finite float escaping into a response
 // type) becomes a clean 500 instead of a 200 with a truncated body.
+// Bodies are compact — the wire format is for machines; humans opt in
+// to indentation with ?pretty=1 (writeJSONIndent).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("server: encoding %T: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// writeJSONIndent is the ?pretty=1 path: same value, indented for
+// humans, never cached.
+func writeJSONIndent(w http.ResponseWriter, status int, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Printf("server: encoding %T: %v", v, err)
-		http.Error(w, `{"error": "response encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

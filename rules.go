@@ -111,7 +111,55 @@ func (a *Analysis) IngredientPairings(region string, minConfidence float64, maxR
 	return a.rules(region, minConfidence, maxRules, true)
 }
 
+// rulesKey identifies one rule derivation in the Analysis memo.
+type rulesKey struct {
+	region          string
+	minConfidence   float64
+	maxRules        int
+	ingredientsOnly bool
+}
+
+// rulesMemoMax bounds the per-Analysis rule memo. FIFO, not LRU, so
+// insertion order alone decides eviction — deterministic, and immune to
+// the map-iteration nondeterminism cuisinelint forbids in this package.
+const rulesMemoMax = 64
+
+// rules memoizes deriveRules per parameter tuple: /v1/rules, /v1/pairings
+// and /v1/substitutes re-request the same handful of tuples on every
+// warm hit, and generation walks every mined pattern each time. The
+// returned slice is shared with the memo — callers must not mutate it
+// (the serving layer only marshals).
 func (a *Analysis) rules(region string, minConfidence float64, maxRules int, ingredientsOnly bool) ([]AssociationRule, error) {
+	key := rulesKey{region, minConfidence, maxRules, ingredientsOnly}
+	a.rulesMu.Lock()
+	if out, ok := a.rulesMemo[key]; ok {
+		a.rulesMu.Unlock()
+		return out, nil
+	}
+	a.rulesMu.Unlock()
+
+	out, err := a.deriveRules(region, minConfidence, maxRules, ingredientsOnly)
+	if err != nil {
+		return nil, err
+	}
+
+	a.rulesMu.Lock()
+	if _, exists := a.rulesMemo[key]; !exists {
+		if a.rulesMemo == nil {
+			a.rulesMemo = make(map[rulesKey][]AssociationRule)
+		}
+		a.rulesOrder = append(a.rulesOrder, key)
+		for len(a.rulesOrder) > rulesMemoMax {
+			delete(a.rulesMemo, a.rulesOrder[0])
+			a.rulesOrder = a.rulesOrder[1:]
+		}
+		a.rulesMemo[key] = out
+	}
+	a.rulesMu.Unlock()
+	return out, nil
+}
+
+func (a *Analysis) deriveRules(region string, minConfidence float64, maxRules int, ingredientsOnly bool) ([]AssociationRule, error) {
 	for _, rp := range a.figures.Mined {
 		if rp.Region != region {
 			continue
